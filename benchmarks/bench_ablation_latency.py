@@ -1,0 +1,58 @@
+"""Ablation: inter-SSMP message latency (the paper's LAN model).
+
+Section 4.2.2 models the LAN as a fixed per-message latency (1000 cycles
+in the evaluation).  Sweeping it shows how sensitive each sharing
+pattern is to the external network: the coarse-grain apps degrade
+slowly; the lock-bound ones amplify every cycle of latency through
+critical-section dilation.
+"""
+
+from conftest import save_report
+
+from repro.apps import jacobi, water
+from repro.bench import render_table
+from repro.params import MachineConfig
+
+DELAYS = (0, 1000, 4000)
+
+
+def _run():
+    out = {}
+    for delay in DELAYS:
+        config = MachineConfig(
+            total_processors=16, cluster_size=4, inter_ssmp_delay=delay
+        )
+        j = jacobi.run(config, jacobi.JacobiParams(n=32, iterations=4)).require_valid()
+        w = water.run(
+            config, water.WaterParams(n_molecules=33, iterations=1)
+        ).require_valid()
+        out[delay] = (j.total_time, w.total_time)
+    return out
+
+
+def test_ablation_latency(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    base_j, base_w = results[0]
+    rows = [
+        [
+            f"{delay} cycles",
+            f"{tj:,}",
+            f"{tj / base_j:.2f}x",
+            f"{tw:,}",
+            f"{tw / base_w:.2f}x",
+        ]
+        for delay, (tj, tw) in results.items()
+    ]
+    save_report(
+        "ablation_latency",
+        "Ablation: inter-SSMP latency sweep (16 processors, C=4)\n\n"
+        + render_table(
+            ["latency", "jacobi", "vs 0", "water", "vs 0"], rows
+        ),
+    )
+    # Latency hurts monotonically, and hurts the lock-bound app more.
+    times_j = [results[d][0] for d in DELAYS]
+    times_w = [results[d][1] for d in DELAYS]
+    assert times_j == sorted(times_j)
+    assert times_w == sorted(times_w)
+    assert (times_w[-1] / times_w[0]) > (times_j[-1] / times_j[0]) * 0.9

@@ -1,0 +1,44 @@
+"""Ablation: coherence grain size (paper section 2.2).
+
+A larger page amortizes protocol overhead over more data but suffers
+more false sharing.  TSP's 56-byte path elements make it the false
+sharing victim; Jacobi's contiguous rows benefit from bigger pages.
+"""
+
+from conftest import save_report
+
+from repro.apps import jacobi, tsp
+from repro.bench import render_table
+from repro.params import MachineConfig
+
+PAGE_SIZES = (512, 1024, 4096)
+
+
+def _run():
+    out = {}
+    for page in PAGE_SIZES:
+        config = MachineConfig(
+            total_processors=16,
+            cluster_size=4,
+            inter_ssmp_delay=1000,
+            page_size=page,
+        )
+        j = jacobi.run(config, jacobi.JacobiParams(n=32, iterations=4)).require_valid()
+        t = tsp.run(config, tsp.TSPParams(ncities=7)).require_valid()
+        out[page] = (j.total_time, t.total_time)
+    return out
+
+
+def test_ablation_page_size(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        [f"{page} B", f"{tj:,}", f"{tt:,}"]
+        for page, (tj, tt) in results.items()
+    ]
+    save_report(
+        "ablation_page_size",
+        "Ablation: page size sweep (16 processors, C=4)\n\n"
+        + render_table(["page size", "jacobi", "tsp"], rows),
+    )
+    for page in PAGE_SIZES:
+        assert results[page][0] > 0 and results[page][1] > 0

@@ -1,0 +1,28 @@
+"""Figure 8: runtime breakdown for TSP across cluster sizes."""
+
+from conftest import save_report, save_sweep_csv
+
+from repro.bench import figure_report, run_figure
+
+
+def test_fig08_tsp(benchmark):
+    sweep = benchmark.pedantic(run_figure, args=("fig8",), rounds=1, iterations=1)
+    save_report("fig08_tsp", figure_report("fig8", sweep))
+    save_sweep_csv("fig08_tsp", sweep)
+    # The centralized work queue makes TSP pathological on a DSSMP: the
+    # paper reports >25x slowdown at C=1 vs the tightly-coupled machine,
+    # lock time dominating, and concave curvature.
+    times = sweep.times()
+    assert times[1] / times[32] > 10, "TSP must be dramatically slower on a DSSMP"
+    assert sweep.breakup_penalty > 3.0
+    half = sweep.point(16)
+    assert half.breakdown["lock"] > half.breakdown["user"], (
+        "lock overhead (critical-section dilation) must dominate"
+    )
+    # Most of the (modest) multigrain potential is dropped across large
+    # cluster sizes in the paper (concave curvature); at our scale the
+    # curve is flatter — see EXPERIMENTS.md — so only assert it is far
+    # from the convex shape of the well-behaved apps: little is gained
+    # by the first doubling of cluster size.
+    times = sweep.times()
+    assert times[2] > 0.5 * times[1]

@@ -1,0 +1,16 @@
+"""Figure 10: runtime breakdown for Barnes-Hut across cluster sizes."""
+
+from conftest import save_report, save_sweep_csv
+
+from repro.bench import figure_report, run_figure
+
+
+def test_fig10_barnes_hut(benchmark):
+    sweep = benchmark.pedantic(run_figure, args=("fig10",), rounds=1, iterations=1)
+    save_report("fig10_barnes_hut", figure_report("fig10", sweep))
+    save_sweep_csv("fig10_barnes_hut", sweep)
+    # Highest multigrain potential of the suite (paper: 85%), convex
+    # curvature, with lock overhead from the parallel tree build.
+    assert sweep.multigrain_potential > 0.5
+    point = sweep.point(1)
+    assert point.breakdown["lock"] + point.breakdown["mgs"] > point.breakdown["user"]

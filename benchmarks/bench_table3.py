@@ -1,0 +1,43 @@
+"""Table 3: cost of primitive MGS operations (paper section 5.1)."""
+
+from conftest import save_report
+
+from repro.bench import measure_micro_costs, render_table
+from repro.bench.micro import PAPER_TABLE3
+from repro.params import CostModel
+
+
+def _report() -> str:
+    costs = CostModel()
+    measured = measure_micro_costs()
+    rows = [
+        ["Cache Miss Local", costs.miss_local, PAPER_TABLE3["cache_miss_local"]],
+        ["Cache Miss Remote", costs.miss_remote, PAPER_TABLE3["cache_miss_remote"]],
+        ["Cache Miss 2-party", costs.miss_2party, PAPER_TABLE3["cache_miss_2party"]],
+        ["Cache Miss 3-party", costs.miss_3party, PAPER_TABLE3["cache_miss_3party"]],
+        ["Remote Software", costs.miss_software_dir, PAPER_TABLE3["remote_software"]],
+        ["Distributed Array Translation", costs.translate_array,
+         PAPER_TABLE3["translate_array"]],
+        ["Pointer Translation", costs.translate_pointer,
+         PAPER_TABLE3["translate_pointer"]],
+        ["TLB Fill", measured.tlb_fill, PAPER_TABLE3["tlb_fill"]],
+        ["Inter-SSMP Read Miss", measured.read_miss, PAPER_TABLE3["read_miss"]],
+        ["Inter-SSMP Write Miss", measured.write_miss, PAPER_TABLE3["write_miss"]],
+        ["Release (1 writer)", measured.release_1writer,
+         PAPER_TABLE3["release_1writer"]],
+        ["Release (2 writers)", measured.release_2writers,
+         PAPER_TABLE3["release_2writers"]],
+    ]
+    table = render_table(
+        ["operation", "measured (cycles)", "paper (cycles)"],
+        [[r[0], str(r[1]), str(r[2])] for r in rows],
+    )
+    return "Table 3: Shared Memory Costs on MGS\n\n" + table
+
+
+def test_table3(benchmark):
+    measured = benchmark.pedantic(measure_micro_costs, rounds=1, iterations=1)
+    save_report("table3", _report())
+    for key, value in measured.as_dict().items():
+        paper = PAPER_TABLE3[key]
+        assert abs(value - paper) / paper < 0.02, f"{key}: {value} vs {paper}"

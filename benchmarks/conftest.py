@@ -1,0 +1,32 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table or figure of the paper and appends
+its paper-vs-measured report to ``results/`` (and stdout when run with
+``-s``).  Simulations are deterministic, so a single round is measured.
+"""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+RESULTS = ROOT / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    """Write a report file and echo it for the bench log."""
+    RESULTS.mkdir(exist_ok=True)
+    path = RESULTS / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n[saved to {path}]")
+
+
+def save_sweep_csv(name: str, sweep) -> None:
+    """Write the sweep's data series for external plotting."""
+    from repro.metrics import sweep_to_csv
+
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / f"{name}.csv").write_text(sweep_to_csv(sweep))

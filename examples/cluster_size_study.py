@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""The paper's experiment, end to end: sweep cluster size for one app.
+
+Reproduces a Figure 6/9-style study on a 16-processor DSSMP: run Water
+at every cluster size, print the execution-time curve, the runtime
+breakdown bars, and the three framework metrics (breakup penalty,
+multigrain potential, multigrain curvature) of section 2.4.
+
+Run:  python examples/cluster_size_study.py [app]
+      where app is one of: jacobi matmul tsp water barnes-hut
+"""
+
+import sys
+
+from repro.apps import ALL_APPS, water
+from repro.bench import render_breakdown_figure, render_metrics, run_sweep
+
+
+def main() -> None:
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "water"
+    module = ALL_APPS[app_name]
+
+    # A 16-processor machine keeps the example fast; pass app params to
+    # grow the problem (see repro.bench.figures.bench_params for the
+    # benchmark-scale defaults).
+    params = None
+    if app_name == "water":
+        params = water.WaterParams(n_molecules=33, iterations=1)
+
+    sweep = run_sweep(module, params=params, total_processors=16)
+
+    print(render_breakdown_figure(
+        sweep, f"Cluster-size study: {app_name} on a 16-processor DSSMP"
+    ))
+    print()
+    print(render_metrics(sweep))
+    print()
+    print("Interpretation (section 2.4 of the paper):")
+    print(" - breakup penalty: cost of splitting the tightly-coupled")
+    print("   machine into two SSMPs;")
+    print(" - multigrain potential: benefit of clustering uniprocessor")
+    print("   DSM nodes into SSMPs;")
+    print(" - convex curvature means most of that benefit arrives at")
+    print("   small cluster sizes - good news for DSSMPs built from")
+    print("   small multiprocessors.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Runtime multigrain-locality analysis (the paper's future work, §7).
+
+Runs Water on a DSSMP and prints the per-data-structure sharing report:
+which allocations ping-pong at page grain between SSMPs (high transfer
+counts — candidates for a locality transformation) and which are served
+by hardware sharing inside clusters.
+
+Run:  python examples/locality_report.py
+"""
+
+from repro.apps import water
+from repro.metrics.locality import locality_report, render_locality_report
+from repro.params import MachineConfig
+
+
+def main() -> None:
+    config = MachineConfig(total_processors=16, cluster_size=4,
+                           inter_ssmp_delay=1000)
+    rt = water.make_runtime(config)
+    water.build(rt, water.WaterParams(n_molecules=33, iterations=1))
+    result = rt.run()
+
+    print(f"Water on P=16, C=4: {result.total_time:,} cycles\n")
+    print(render_locality_report(locality_report(rt)))
+    print(
+        "\nReading the report: the molecule array moves between SSMPs at"
+        "\npage grain on every lock hand-off (high transfers/page), while"
+        "\nthe statistics page concentrates coherence traffic on its home."
+        "\nA tiling transformation like the Water kernel's (Figure 12)"
+        "\nwould cut the molecule array's transfers to one per phase."
+    )
+
+
+if __name__ == "__main__":
+    main()

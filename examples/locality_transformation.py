@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Best-effort multigrain locality: the Water-kernel transformation.
+
+Reproduces the paper's section 5.2.3 result in miniature: the same
+N-squared force kernel run twice — with the original per-pair-locking
+loop, and with the tiled loop transformation that gives each SSMP
+exclusive access to two tiles per phase.  The transformation contains
+all sharing within SSMPs, collapsing the breakup penalty.
+
+Run:  python examples/locality_transformation.py
+"""
+
+from repro.apps import water_kernel
+from repro.bench import render_metrics, run_sweep
+
+
+def main() -> None:
+    total = 16
+    params_plain = water_kernel.WaterKernelParams(n_molecules=64, optimized=False)
+    params_tiled = water_kernel.WaterKernelParams(n_molecules=64, optimized=True)
+
+    plain = run_sweep(water_kernel, params=params_plain, total_processors=total,
+                      name="kernel-plain")
+    tiled = run_sweep(water_kernel, params=params_tiled, total_processors=total,
+                      name="kernel-tiled")
+
+    print("Execution time (cycles) vs cluster size, 16 processors\n")
+    print(f"{'C':>4}  {'untransformed':>15}  {'loop-transformed':>17}  {'speedup':>8}")
+    for c in sorted(plain.times()):
+        tp, tt = plain.times()[c], tiled.times()[c]
+        print(f"{c:>4}  {tp:>15,.0f}  {tt:>17,.0f}  {tp / tt:>7.2f}x")
+
+    print("\nUntransformed kernel:")
+    print(render_metrics(plain))
+    print("\nLoop-transformed kernel:")
+    print(render_metrics(tiled))
+    print(
+        "\nThe transformation trades per-interaction software coherence"
+        "\n(critical-section dilation on every molecule update) for"
+        "\npage-grain communication at phase boundaries only."
+    )
+
+
+if __name__ == "__main__":
+    main()

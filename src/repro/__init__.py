@@ -1,0 +1,37 @@
+"""repro — a reproduction of "MGS: A Multigrain Shared Memory System"
+(Yeung, Kubiatowicz, Agarwal; ISCA 1996).
+
+The package simulates a Distributed Scalable Shared-memory Multiprocessor
+(DSSMP): clusters of hardware-cache-coherent processors (SSMPs) coupled
+through a software page-based protocol — the MGS protocol — over a
+modeled external network.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured results.
+
+Public API
+----------
+
+* :class:`~repro.params.MachineConfig`, :class:`~repro.params.CostModel`,
+  :class:`~repro.params.ProtocolOptions` — configuration.
+* :class:`~repro.runtime.Runtime`, :class:`~repro.runtime.Env`,
+  :class:`~repro.runtime.SharedArray` — build and run applications.
+* :mod:`repro.apps` — the paper's five applications plus the Water
+  kernel, each returning a :class:`~repro.runtime.RunResult`.
+* :mod:`repro.metrics` — the paper's DSSMP performance framework
+  (breakup penalty, multigrain potential, multigrain curvature).
+"""
+
+from repro.params import CostModel, MachineConfig, ProtocolOptions
+from repro.runtime import Env, RunResult, Runtime, SharedArray
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "MachineConfig",
+    "ProtocolOptions",
+    "Runtime",
+    "Env",
+    "SharedArray",
+    "RunResult",
+    "__version__",
+]

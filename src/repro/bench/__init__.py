@@ -1,0 +1,30 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from repro.bench.figures import FIGURES, bench_params, figure_report, run_figure
+from repro.bench.micro import MicroCosts, measure_micro_costs
+from repro.bench.report import (
+    render_breakdown_figure,
+    render_lock_figure,
+    render_metrics,
+    render_table,
+)
+from repro.bench.sweep import default_config, run_sweep, scale_factor
+from repro.bench.table4 import render_table4, run_table4
+
+__all__ = [
+    "MicroCosts",
+    "measure_micro_costs",
+    "FIGURES",
+    "bench_params",
+    "figure_report",
+    "run_figure",
+    "run_sweep",
+    "scale_factor",
+    "default_config",
+    "render_breakdown_figure",
+    "render_lock_figure",
+    "render_metrics",
+    "render_table",
+    "run_table4",
+    "render_table4",
+]

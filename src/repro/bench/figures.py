@@ -1,0 +1,106 @@
+"""Per-experiment definitions: workloads, paper numbers, and runners.
+
+One entry per table/figure of the paper's evaluation (section 5).  The
+benchmark files under ``benchmarks/`` call these runners and print the
+paper-vs-measured comparison; EXPERIMENTS.md records the outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.apps import barnes_hut, jacobi, matmul, tsp, water, water_kernel
+from repro.bench.report import render_breakdown_figure, render_metrics
+from repro.bench.sweep import run_sweep, scale_factor
+from repro.metrics import ClusterSweep
+
+__all__ = [
+    "FigureSpec",
+    "FIGURES",
+    "bench_params",
+    "run_figure",
+    "figure_report",
+]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """A runtime-breakdown figure from the paper."""
+
+    figure: str
+    app: str
+    module: Any
+    paper_breakup: float | None
+    paper_potential: float | None
+    paper_curvature: str | None
+
+
+FIGURES = {
+    "fig6": FigureSpec("Figure 6", "jacobi", jacobi, 0.16, 0.0, "linear"),
+    "fig7": FigureSpec("Figure 7", "matmul", matmul, 0.0, 0.0, "linear"),
+    "fig8": FigureSpec("Figure 8", "tsp", tsp, 22.7, 0.49, "concave"),
+    "fig9": FigureSpec("Figure 9", "water", water, 3.22, 0.67, None),
+    "fig10": FigureSpec("Figure 10", "barnes-hut", barnes_hut, 1.61, 0.85, "convex"),
+    "fig12-unopt": FigureSpec(
+        "Figure 12 (untransformed)", "water-kernel", water_kernel, 3.34, None, None
+    ),
+    "fig12-opt": FigureSpec(
+        "Figure 12 (loop-transformed)", "water-kernel-opt", water_kernel, 0.26, 1.07,
+        "convex",
+    ),
+}
+
+
+def bench_params(app: str, scale: int | None = None) -> Any:
+    """Default problem sizes for the benchmark harness.
+
+    ``REPRO_SCALE`` grows the sizes toward the paper's (which are 8-16x
+    larger; see DESIGN.md section 6 for the mapping).
+    """
+    s = scale_factor() if scale is None else scale
+    if app == "jacobi":
+        return jacobi.JacobiParams(n=64 * s, iterations=10)
+    if app == "matmul":
+        return matmul.MatmulParams(n=32 * s)
+    if app == "tsp":
+        return tsp.TSPParams(ncities=min(11, 8 + s))
+    if app == "water":
+        return water.WaterParams(n_molecules=67 * s, iterations=2)
+    if app == "barnes-hut":
+        return barnes_hut.BarnesHutParams(n_bodies=96 * s, iterations=3)
+    if app == "water-kernel":
+        return water_kernel.WaterKernelParams(n_molecules=256 * s, optimized=False)
+    if app == "water-kernel-opt":
+        return water_kernel.WaterKernelParams(n_molecules=256 * s, optimized=True)
+    raise KeyError(f"unknown app {app!r}")
+
+
+def run_figure(key: str, total_processors: int = 32) -> ClusterSweep:
+    """Run the full cluster-size sweep behind one figure."""
+    spec = FIGURES[key]
+    params = bench_params(spec.app)
+    return run_sweep(
+        spec.module,
+        params=params,
+        total_processors=total_processors,
+        name=spec.app,
+    )
+
+
+def figure_report(key: str, sweep: ClusterSweep) -> str:
+    """Figure rendering plus the paper comparison."""
+    spec = FIGURES[key]
+    parts = [
+        render_breakdown_figure(
+            sweep, f"{spec.figure}: runtime breakdown for {spec.app}"
+        ),
+        "",
+        render_metrics(
+            sweep,
+            paper_breakup=spec.paper_breakup,
+            paper_potential=spec.paper_potential,
+            paper_curvature=spec.paper_curvature,
+        ),
+    ]
+    return "\n".join(parts)

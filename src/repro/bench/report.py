@@ -1,0 +1,113 @@
+"""Text rendering of the paper's tables and figures.
+
+Figures 6-10 and 12 are stacked-bar charts of runtime breakdown versus
+cluster size; we render them as horizontal ASCII bars plus the framework
+metrics (breakup penalty / multigrain potential / curvature), and always
+print the paper's value next to the measured one.
+"""
+
+from __future__ import annotations
+
+from repro.metrics import ClusterSweep
+
+__all__ = [
+    "render_breakdown_figure",
+    "render_metrics",
+    "render_lock_figure",
+    "render_table",
+    "format_pct",
+]
+
+BAR_WIDTH = 56
+COMPONENT_ORDER = ["user", "lock", "barrier", "mgs"]
+COMPONENT_GLYPH = {"user": "U", "lock": "L", "barrier": "B", "mgs": "M"}
+
+
+def format_pct(x: float) -> str:
+    return f"{100.0 * x:.0f}%"
+
+
+def render_table(headers: list[str], rows: list[list[str]]) -> str:
+    """A simple aligned text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def fmt(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_breakdown_figure(sweep: ClusterSweep, title: str) -> str:
+    """Stacked runtime-breakdown bars, one per cluster size."""
+    out = [title, ""]
+    max_time = max(p.total_time for p in sweep.points)
+    for point in sweep.points:
+        total = sum(point.breakdown.values())
+        width = max(1, round(BAR_WIDTH * point.total_time / max_time))
+        bar = ""
+        for comp in COMPONENT_ORDER:
+            frac = point.breakdown[comp] / total if total else 0.0
+            bar += COMPONENT_GLYPH[comp] * round(width * frac)
+        bar = bar[:width].ljust(width if width > len(bar) else len(bar))
+        out.append(
+            f"C={point.cluster_size:>2} |{bar}| {point.total_time:>13,} cycles"
+        )
+    out.append("")
+    out.append(
+        "legend: U=user  L=lock  B=barrier  M=MGS software coherence "
+        "(bar length ~ execution time)"
+    )
+    bd = {
+        c: "/".join(
+            format_pct(p.breakdown[comp] / max(1, sum(p.breakdown.values())))
+            for comp in COMPONENT_ORDER
+        )
+        for c, p in ((p.cluster_size, p) for p in sweep.points)
+    }
+    out.append("breakdown U/L/B/M per C: " + "  ".join(f"C{c}:{v}" for c, v in bd.items()))
+    return "\n".join(out)
+
+
+def render_metrics(
+    sweep: ClusterSweep,
+    paper_breakup: float | None = None,
+    paper_potential: float | None = None,
+    paper_curvature: str | None = None,
+) -> str:
+    """Framework metrics with the paper's numbers alongside."""
+    rows = [
+        [
+            "breakup penalty",
+            format_pct(sweep.breakup_penalty),
+            format_pct(paper_breakup) if paper_breakup is not None else "-",
+        ],
+        [
+            "multigrain potential",
+            format_pct(sweep.multigrain_potential),
+            format_pct(paper_potential) if paper_potential is not None else "-",
+        ],
+        [
+            "multigrain curvature",
+            sweep.curvature,
+            paper_curvature if paper_curvature is not None else "-",
+        ],
+    ]
+    return render_table(["metric", "measured", "paper"], rows)
+
+
+def render_lock_figure(sweeps: list[ClusterSweep], title: str) -> str:
+    """Figure 11: lock hit ratio as a function of cluster size."""
+    out = [title, ""]
+    sizes = [p.cluster_size for p in sweeps[0].points]
+    headers = ["app"] + [f"C={c}" for c in sizes]
+    rows = []
+    for sweep in sweeps:
+        rows.append(
+            [sweep.app]
+            + [f"{p.lock_hit_ratio:.2f}" for p in sweep.points]
+        )
+    out.append(render_table(headers, rows))
+    return "\n".join(out)

@@ -1,0 +1,75 @@
+"""Cluster-size sweeps: the engine behind Figures 6-12."""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.metrics import ClusterSweep, SweepPoint, cluster_sizes
+from repro.params import CostModel, MachineConfig
+
+__all__ = ["run_sweep", "scale_factor", "default_config"]
+
+
+def scale_factor() -> int:
+    """Problem-size multiplier from the ``REPRO_SCALE`` env variable."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SCALE", "1")))
+    except ValueError:
+        return 1
+
+
+def default_config(cluster_size: int, total_processors: int = 32, **overrides) -> MachineConfig:
+    """The paper's experimental platform: 32 processors, 1 KB pages,
+    1000-cycle inter-SSMP message delay (section 5.2.1)."""
+    return MachineConfig(
+        total_processors=total_processors,
+        cluster_size=cluster_size,
+        inter_ssmp_delay=overrides.pop("inter_ssmp_delay", 1000),
+        **overrides,
+    )
+
+
+def run_sweep(
+    app_module: Any,
+    params: Any = None,
+    total_processors: int = 32,
+    sizes: list[int] | None = None,
+    costs: CostModel | None = None,
+    inter_ssmp_delay: int = 1000,
+    name: str | None = None,
+    require_valid: bool = True,
+) -> ClusterSweep:
+    """Run ``app_module.run`` at every cluster size and collect the curve.
+
+    Every point validates the application output against its sequential
+    golden run, so a sweep doubles as a protocol correctness check.
+    """
+    if sizes is None:
+        sizes = cluster_sizes(total_processors)
+    points = []
+    app_name = name
+    for c in sizes:
+        config = default_config(
+            c, total_processors, inter_ssmp_delay=inter_ssmp_delay
+        )
+        run = app_module.run(config, params, costs)
+        if require_valid:
+            run.require_valid()
+        app_name = app_name or run.name
+        points.append(
+            SweepPoint(
+                cluster_size=c,
+                total_time=run.total_time,
+                breakdown=run.result.breakdown(),
+                lock_hit_ratio=run.result.lock_stats.hit_ratio,
+                lock_acquires=run.result.lock_stats.acquires,
+                protocol_stats=run.result.protocol_stats,
+                messages_inter_ssmp=run.result.messages_inter_ssmp,
+            )
+        )
+    return ClusterSweep(
+        app=app_name or getattr(app_module, "__name__", "app"),
+        total_processors=total_processors,
+        points=points,
+    )

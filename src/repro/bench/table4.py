@@ -1,0 +1,99 @@
+"""Table 4: applications, sequential running time, and 32-way speedup.
+
+The sequential time runs the app on a single-processor machine (software
+virtual memory overhead included, as in the paper); the speedup compares
+against the 32-processor tightly-coupled configuration (C = P, MGS calls
+nulled, P4-style synchronization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import ALL_APPS
+from repro.bench.figures import bench_params
+from repro.bench.report import render_table
+from repro.params import MachineConfig
+
+__all__ = ["Table4Row", "run_table4", "render_table4", "PAPER_TABLE4"]
+
+#: Table 4 of the paper: (problem size, Seq in Mcycles, speedup on 32).
+PAPER_TABLE4 = {
+    "jacobi": ("1024x1024, 10 iters", 1618.0, 30.0),
+    "matmul": ("256x256", 3081.0, 26.9),
+    "tsp": ("10-city tour", 54.2, 23.0),
+    "water": ("343 molecules, 2 iters", 1993.0, 26.9),
+    "barnes-hut": ("2K bodies, 3 iters", 977.0, 13.8),
+    "water-kernel": ("512 molecules, 1 iter", 1540.0, 26.7),
+}
+
+
+@dataclass
+class Table4Row:
+    app: str
+    problem_size: str
+    seq_mcycles: float
+    speedup_32: float
+
+
+def _problem_size(app: str, params) -> str:
+    if app == "jacobi":
+        return f"{params.n}x{params.n}, {params.iterations} iters"
+    if app == "matmul":
+        return f"{params.n}x{params.n}"
+    if app == "tsp":
+        return f"{params.ncities}-city tour"
+    if app == "water":
+        return f"{params.n_molecules} molecules, {params.iterations} iters"
+    if app == "barnes-hut":
+        return f"{params.n_bodies} bodies, {params.iterations} iters"
+    return f"{params.n_molecules} molecules, 1 iter"
+
+
+def run_table4() -> list[Table4Row]:
+    """Measure Seq and S32 for every application."""
+    rows = []
+    for app, module in ALL_APPS.items():
+        params = bench_params(app)
+        seq_config = MachineConfig(total_processors=1, cluster_size=1)
+        seq = module.run(seq_config, params).require_valid()
+        par_config = MachineConfig(total_processors=32, cluster_size=32)
+        par = module.run(par_config, params).require_valid()
+        rows.append(
+            Table4Row(
+                app=app,
+                problem_size=_problem_size(app, params),
+                seq_mcycles=seq.total_time / 1e6,
+                speedup_32=seq.total_time / par.total_time,
+            )
+        )
+    return rows
+
+
+def render_table4(rows: list[Table4Row]) -> str:
+    table_rows = []
+    for row in rows:
+        paper_size, paper_seq, paper_s32 = PAPER_TABLE4[row.app]
+        table_rows.append(
+            [
+                row.app,
+                row.problem_size,
+                f"{row.seq_mcycles:.1f}",
+                f"{row.speedup_32:.1f}",
+                paper_size,
+                f"{paper_seq:.1f}",
+                f"{paper_s32:.1f}",
+            ]
+        )
+    return render_table(
+        [
+            "app",
+            "size (ours)",
+            "Seq Mcyc",
+            "S32",
+            "size (paper)",
+            "paper Seq",
+            "paper S32",
+        ],
+        table_rows,
+    )

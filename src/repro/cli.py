@@ -1,0 +1,111 @@
+"""Command-line interface: run any of the paper's experiments.
+
+Usage::
+
+    python -m repro.cli table3
+    python -m repro.cli table4
+    python -m repro.cli fig6 fig9            # any of fig6..fig12-opt
+    python -m repro.cli fig11
+    python -m repro.cli all                  # everything (slow)
+    python -m repro.cli sweep water --processors 16
+
+Reports print to stdout in the same format the benchmark suite saves
+under ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import ALL_APPS
+from repro.bench import (
+    FIGURES,
+    figure_report,
+    measure_micro_costs,
+    render_lock_figure,
+    render_table,
+    render_table4,
+    run_figure,
+    run_sweep,
+    run_table4,
+)
+from repro.bench.micro import PAPER_TABLE3
+
+__all__ = ["main"]
+
+
+def _table3() -> str:
+    measured = measure_micro_costs()
+    rows = [
+        [name, str(value), str(PAPER_TABLE3[key])]
+        for name, key, value in [
+            ("TLB Fill", "tlb_fill", measured.tlb_fill),
+            ("Inter-SSMP Read Miss", "read_miss", measured.read_miss),
+            ("Inter-SSMP Write Miss", "write_miss", measured.write_miss),
+            ("Release (1 writer)", "release_1writer", measured.release_1writer),
+            ("Release (2 writers)", "release_2writers", measured.release_2writers),
+        ]
+    ]
+    return "Table 3 (software shared memory group)\n\n" + render_table(
+        ["operation", "measured", "paper"], rows
+    )
+
+
+def _fig11() -> str:
+    sweeps = [run_figure("fig8"), run_figure("fig9"), run_figure("fig10")]
+    return render_lock_figure(
+        sweeps, "Figure 11: Hit rate for MGS lock vs cluster size"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Reproduce MGS (ISCA 1996) experiments"
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="table3, table4, fig11, any figure key "
+        f"({', '.join(FIGURES)}), 'all', or 'sweep <app>'",
+    )
+    parser.add_argument(
+        "--processors", type=int, default=32, help="total processors (default 32)"
+    )
+    args = parser.parse_args(argv)
+
+    experiments = list(args.experiments)
+    if experiments and experiments[0] == "sweep":
+        if len(experiments) < 2 or experiments[1] not in ALL_APPS:
+            parser.error(f"sweep needs an app name from {sorted(ALL_APPS)}")
+        module = ALL_APPS[experiments[1]]
+        sweep = run_sweep(module, total_processors=args.processors)
+        from repro.bench import render_breakdown_figure, render_metrics
+
+        print(render_breakdown_figure(sweep, f"sweep: {experiments[1]}"))
+        print()
+        print(render_metrics(sweep))
+        return 0
+
+    if "all" in experiments:
+        experiments = ["table3", "table4", *FIGURES, "fig11"]
+
+    for exp in experiments:
+        print(f"\n{'=' * 72}")
+        if exp == "table3":
+            print(_table3())
+        elif exp == "table4":
+            print("Table 4\n\n" + render_table4(run_table4()))
+        elif exp == "fig11":
+            print(_fig11())
+        elif exp in FIGURES:
+            sweep = run_figure(exp, total_processors=args.processors)
+            print(figure_report(exp, sweep))
+        else:
+            print(f"unknown experiment {exp!r}", file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""The MGS multigrain shared-memory protocol (the paper's contribution).
+
+Three cooperating engines implement the protocol, exactly as in Figure 4
+of the paper:
+
+* :class:`~repro.core.local_client.LocalClient` — runs on the faulting
+  processor; maintains mapping (TLB) state and requests page data.
+* :class:`~repro.core.remote_client.RemoteClient` — runs on the processor
+  owning an SSMP's copy of a page; performs page invalidation, diffing,
+  and upgrades.
+* :class:`~repro.core.server.Server` — runs on the page's home processor;
+  grants replication requests and orchestrates release operations.
+
+:class:`~repro.core.protocol.MGSProtocol` wires the three engines to the
+machine, hardware-coherence, and SVM substrates.
+"""
+
+from repro.core.page import FrameState, HomePage, PageFrame, ServerState
+from repro.core.protocol import MGSProtocol, ProtocolStats
+
+__all__ = [
+    "FrameState",
+    "HomePage",
+    "PageFrame",
+    "ServerState",
+    "MGSProtocol",
+    "ProtocolStats",
+]

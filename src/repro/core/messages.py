@@ -1,0 +1,67 @@
+"""Protocol message vocabulary (Table 2 of the paper).
+
+The simulator delivers messages as scheduled handler invocations, so these
+enum members serve as the canonical names used for statistics, tracing and
+tests rather than as wire formats.  The full Table 2 set:
+
+=============  =====================================================
+Local Client -> Remote Client
+  UPGRADE      upgrade local page from read to write privilege
+  PINV_ACK     acknowledge TLB invalidation
+Remote Client -> Local Client
+  PINV         invalidate TLB entry
+  UP_ACK       acknowledge upgrade
+Local Client -> Server
+  RREQ         read data request
+  WREQ         write data request
+  REL          release request
+Server -> Local Client
+  RDAT         read data
+  WDAT         write data
+  RACK         acknowledge release
+Remote Client -> Server
+  ACK          acknowledge read invalidate
+  DIFF         acknowledge write invalidate and return diff
+  ONE_WDATA    acknowledge single-writer invalidate and return data
+  WNOTIFY      notify upgrade from read to write privilege
+Server -> Remote Client
+  INV          invalidate page
+  ONE_WINV     invalidate single-writer page
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["MsgType"]
+
+
+class MsgType(enum.Enum):
+    """Every message type of the MGS protocol (Table 2)."""
+
+    # Local Client -> Remote Client
+    UPGRADE = "UPGRADE"
+    PINV_ACK = "PINV_ACK"
+    # Remote Client -> Local Client
+    PINV = "PINV"
+    UP_ACK = "UP_ACK"
+    # Local Client -> Server
+    RREQ = "RREQ"
+    WREQ = "WREQ"
+    REL = "REL"
+    # Server -> Local Client
+    RDAT = "RDAT"
+    WDAT = "WDAT"
+    RACK = "RACK"
+    # Remote Client -> Server
+    ACK = "ACK"
+    DIFF = "DIFF"
+    ONE_WDATA = "1WDATA"
+    WNOTIFY = "WNOTIFY"
+    # Server -> Remote Client
+    INV = "INV"
+    ONE_WINV = "1WINV"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,293 @@
+"""The Remote Client engine (Figure 4, middle).
+
+Runs on the processor that owns an SSMP's copy of a page (the first-touch
+owner).  It performs page invalidation on the client side — flushing
+hardware cache lines (page cleaning), shooting down TLB entries via
+``PINV``, computing Munin-style diffs for write pages — and services
+privilege upgrades (arc 13).
+
+Invalidation kinds (Table 1, arcs 14-16):
+
+* ``read`` — page had read privilege: clean + free, reply ``ACK``.
+* ``write`` — page had write privilege: diff against the twin, free,
+  reply ``DIFF``.
+* ``1w`` — single-writer optimization: clean, send the whole page home
+  (``1WDATA``), refresh the twin, and *keep* the page cached with write
+  privilege; only TLB entries are dropped.
+
+The diff (or page snapshot) is taken after all ``PINV`` acknowledgements
+arrive, so writes performed through still-valid TLB entries during the
+shootdown window are never lost.  This is the simulator's analogue of the
+paper's translation-critical-section rollback (section 4.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.messages import MsgType
+from repro.core.page import FrameState, PageFrame, dirty_lines, make_diff
+
+if TYPE_CHECKING:
+    from repro.core.protocol import MGSProtocol
+
+__all__ = ["RemoteClient"]
+
+
+class RemoteClient:
+    """Client-side invalidation and upgrade engine."""
+
+    def __init__(self, ctx: "MGSProtocol") -> None:
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------
+    # upgrades (arc 13)
+    # ------------------------------------------------------------------
+
+    def on_upgrade(self, vpn: int, cluster: int, req_pid: int, on_done) -> None:
+        """UPGRADE: twin the read page and raise privilege to write."""
+        ctx = self.ctx
+        frame = ctx.frames[cluster][vpn]
+        assert frame.state is FrameState.READ and frame.lock_held, (
+            f"upgrade of vpn {vpn} found frame in {frame.state} (lock={frame.lock_held})"
+        )
+        work = ctx.costs.msg_intra_ssmp + 2 * ctx.costs.msg_send
+        if not frame.aliases_home:
+            work += ctx.costs.make_twin(ctx.words_per_page)
+            frame.twin = frame.data.copy()
+        frame.state = FrameState.WRITE
+        completion = ctx.machine.occupy(frame.owner_pid, work)
+        ctx.machine.send(
+            frame.owner_pid,
+            req_pid,
+            ctx.local.on_up_ack,
+            vpn,
+            cluster,
+            req_pid,
+            on_done,
+            at=completion,
+            label=MsgType.UP_ACK.value,
+        )
+        home_pid = ctx.aspace.home_proc(vpn)
+        ctx.machine.send(
+            frame.owner_pid,
+            home_pid,
+            ctx.server.on_wnotify,
+            vpn,
+            cluster,
+            at=completion,
+            label=MsgType.WNOTIFY.value,
+        )
+
+    # ------------------------------------------------------------------
+    # invalidations (arcs 11-16)
+    # ------------------------------------------------------------------
+
+    def on_inv(self, vpn: int, cluster: int, kind: str) -> None:
+        """INV or 1WINV arrived from the Server."""
+        ctx = self.ctx
+        frame = ctx.frames[cluster].get(vpn)
+        assert frame is not None, (
+            f"INV for vpn {vpn} in cluster {cluster} with no frame"
+        )
+        if frame.lock_held:
+            # Mapping lock busy (fault/upgrade in flight): queue; the
+            # Local Client re-launches us when the lock is released.
+            frame.queued_invals.append(kind)
+            ctx.stats.record("inv_lock_waits")
+            return
+        self.start_inval(frame, kind)
+
+    def start_inval(self, frame: PageFrame, kind: str) -> None:
+        """Begin the invalidation: clean/diff cost + TLB shootdown."""
+        ctx = self.ctx
+        costs = ctx.costs
+        assert frame.inval_kind is None, "overlapping invalidations on one frame"
+        frame.lock_held = True
+
+        lines = ctx.config.lines_per_page
+        words = ctx.words_per_page
+        dispatch = ctx.dispatch_cost(frame.cluster, frame.vpn)
+        single_writer = kind == "1w" and frame.state is FrameState.WRITE
+        if single_writer and not frame.aliases_home:
+            work = costs.clean_page(lines) + words * costs.twin_refresh_per_word
+            frame.inval_kind = "1w"
+        elif frame.state is FrameState.WRITE and not frame.aliases_home:
+            work = costs.make_diff(words) + costs.free_page
+            frame.inval_kind = "write"
+        else:
+            # Read copies — and any home-cluster frame, whose writes land
+            # directly in the physical home copy and need no diff.  An
+            # aliased frame also needs no page cleaning here: the home
+            # copy stays in place, and every outbound grant pays its own
+            # cleaning cost before the DMA (Server._grant).
+            if frame.aliases_home:
+                clean = 0
+            else:
+                clean = costs.clean_page(lines)
+                if ctx.options.fast_read_clean and frame.state is FrameState.READ:
+                    # Future optimization of section 4.2.4: invalidation
+                    # of read-only data leaves the critical path.
+                    clean //= 4
+            work = clean + costs.free_page
+            if single_writer:
+                frame.inval_kind = "1w_alias"
+            elif frame.state is FrameState.WRITE and frame.aliases_home:
+                # The home cluster wrote through the alias: its changes
+                # are already merged, but the server must know a foreign
+                # writer contributed so any single-writer retention in
+                # this round gets recalled instead of going stale.
+                frame.inval_kind = "alias_dirty"
+            else:
+                frame.inval_kind = "read"
+
+        # Page cleaning drops this SSMP's hardware line state.
+        ctx.cache.flush_page(
+            frame.cluster, ctx.page_first_line(frame.vpn), lines
+        )
+        completion = ctx.machine.occupy(frame.owner_pid, dispatch + work)
+
+        targets = sorted(frame.tlb_dir)
+        frame.pinv_count = len(targets)
+        ctx.stats.record("invalidations")
+        ctx.record_page(frame.vpn, "invalidations")
+        if not targets:
+            ctx.sim.schedule_at(completion, self._inval_done, frame)
+            return
+        for pid in targets:
+            ctx.stats.record("pinvs")
+            ctx.machine.send(
+                frame.owner_pid,
+                pid,
+                self.on_pinv,
+                frame,
+                pid,
+                at=completion,
+                label=MsgType.PINV.value,
+            )
+
+    def on_pinv(self, frame: PageFrame, pid: int) -> None:
+        """PINV: drop the TLB entry and the DUQ entry (arcs 11-12)."""
+        ctx = self.ctx
+        completion = ctx.machine.occupy(pid, ctx.costs.msg_intra_ssmp)
+        ctx.tlbs[pid].invalidate(frame.vpn)
+        if ctx.duqs[pid].remove_if_present(frame.vpn):
+            # Arc 12 stole a pending release: the round now carries this
+            # processor's writes, so its next release point must not
+            # complete before that round does (release semantics).  The
+            # Local Client sends a data-less "join" REL for the page.
+            ctx.stolen[pid].add(frame.vpn)
+        ctx.machine.send(
+            pid,
+            frame.owner_pid,
+            self.on_pinv_ack,
+            frame,
+            at=completion,
+            label=MsgType.PINV_ACK.value,
+        )
+
+    def on_pinv_ack(self, frame: PageFrame) -> None:
+        """Collect TLB shootdown acknowledgements (arcs 15-16)."""
+        ctx = self.ctx
+        completion = ctx.machine.occupy(frame.owner_pid, ctx.costs.msg_intra_ssmp)
+        frame.pinv_count -= 1
+        if frame.pinv_count == 0:
+            ctx.sim.schedule_at(completion, self._inval_done, frame)
+
+    def _inval_done(self, frame: PageFrame) -> None:
+        """All mappings gone: snapshot data, free/keep the page, reply."""
+        ctx = self.ctx
+        costs = ctx.costs
+        kind = frame.inval_kind
+        frame.inval_kind = None
+        frame.tlb_dir.clear()
+        # The snapshot below covers every write made so far: releases of
+        # those writes may coalesce into the round in flight.
+        frame.post_snapshot_writes = False
+        home_pid = ctx.aspace.home_proc(frame.vpn)
+        wpl = ctx.config.words_per_line
+
+        if kind == "1w":
+            # The whole page travels home (full-page DMA cost), but it is
+            # *applied* as a diff against the twin so that diffs merged
+            # concurrently in the same release round — a reader that
+            # upgraded while the round was in flight — are never
+            # clobbered by the full-page install.
+            indices, values = make_diff(frame.data, frame.twin)
+            payload = ("full", indices, values)
+            frame.twin = frame.data.copy()
+            # Page stays cached with write privilege (the optimization's
+            # whole point: reward sharing within the SSMP).
+            send_work = costs.dma_page(ctx.config.lines_per_page) + costs.msg_send
+            label = MsgType.ONE_WDATA.value
+            ctx.stats.record("one_writer_releases")
+        elif kind == "write":
+            indices, values = make_diff(frame.data, frame.twin)
+            payload = ("diff", indices, values)
+            frame.data = None
+            frame.twin = None
+            frame.state = FrameState.INVALID
+            send_work = costs.dma_page(dirty_lines(indices, wpl)) + costs.msg_send
+            label = MsgType.DIFF.value
+            ctx.stats.record("diffs_sent")
+            ctx.stats.record("diff_words", len(indices))
+            ctx.record_page(frame.vpn, "diff_words", len(indices))
+        else:
+            # "read", "alias_dirty", and "1w_alias": no data travels.
+            payload = ("ack_dirty",) if kind == "alias_dirty" else ("ack",)
+            if kind in ("read", "alias_dirty"):
+                frame.data = None
+                frame.twin = None
+                frame.state = FrameState.INVALID
+            send_work = costs.msg_send
+            label = MsgType.ACK.value
+
+        if kind == "1w":
+            payload_bytes = 64 + ctx.config.page_size
+        elif kind == "write":
+            payload_bytes = 64 + 12 * len(payload[1])  # index + word pairs
+        else:
+            payload_bytes = 64
+        completion = ctx.machine.occupy(frame.owner_pid, send_work)
+        ctx.machine.send(
+            frame.owner_pid,
+            home_pid,
+            ctx.server.on_inval_response,
+            frame.vpn,
+            frame.cluster,
+            payload,
+            at=completion,
+            label=label,
+            size=payload_bytes,
+        )
+        if kind in ("1w", "1w_alias"):
+            # The retained copy must not serve new mappings until the
+            # release round completes: the round may still merge foreign
+            # contributions (making the copy stale until the recall), and
+            # in the real system a freed page would force refetches to
+            # queue at the server until the round's end.  Keep the
+            # mapping lock held; the Server releases it at completion
+            # (on_retained_unlock) or recalls the copy instead.
+            return
+        ctx.sim.schedule_at(completion, ctx.local.release_mapping_lock, frame)
+
+    def on_retained_unlock(self, vpn: int, cluster: int) -> None:
+        """The release round completed: the retained copy is consistent
+        with the home again and may serve local mappings."""
+        ctx = self.ctx
+        frame = ctx.frames[cluster][vpn]
+        ctx.machine.occupy(frame.owner_pid, ctx.costs.msg_intra_ssmp)
+        ctx.local.release_mapping_lock(frame)
+
+    def on_recall(self, vpn: int, cluster: int) -> None:
+        """Recall a retained copy whose round saw foreign writes.
+
+        The mapping lock is still held by the just-finished single-writer
+        invalidation (see ``_inval_done``), so going through ``on_inv``
+        would queue forever; take the lock over directly.
+        """
+        ctx = self.ctx
+        frame = ctx.frames[cluster][vpn]
+        assert frame.lock_held and frame.inval_kind is None
+        frame.lock_held = False
+        self.start_inval(frame, "inv")

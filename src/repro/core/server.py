@@ -1,0 +1,351 @@
+"""The Server engine (Figure 4, right).
+
+Runs on the processor whose memory is home for a page.  It grants
+replication requests (``RREQ``/``WREQ`` -> ``RDAT``/``WDAT``, arcs 17-19),
+tracks the directories of read and write copies, and orchestrates eager
+release operations (arcs 20-23): invalidate every replica, collect
+acknowledgements/diffs, merge them into the home copy, and only then
+acknowledge the releaser and serve queued requests.
+
+Single-writer optimization (section 3.1.1): when the releasing SSMP holds
+the only write copy, the Server sends ``1WINV`` instead of ``INV``; the
+writer returns the whole page (``1WDATA``) and keeps its copy cached with
+write privilege, so the Server retains it in ``write_dir`` afterwards.
+
+Robustness rules for races (documented in DESIGN.md section 3):
+
+* A ``REL`` arriving during ``REL_IN_PROG`` queues on ``rl`` and is
+  acknowledged when the in-flight release completes — the releaser's diff
+  was already collected by that round's invalidations.
+* Invalidation targets are the directories plus the releasing cluster;
+  clusters whose frame is mid-fetch (``BUSY``) are only targeted when the
+  Server has already sent their data grant (cluster present in a
+  directory), which guarantees the queued invalidation will eventually
+  run and prevents request/invalidate deadlock.
+* A ``WNOTIFY`` racing a release is queued and applied afterwards, and
+  ignored if the round invalidated the upgrading cluster meanwhile.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.messages import MsgType
+from repro.core.page import FrameState, HomePage, ServerState, apply_diff
+
+if TYPE_CHECKING:
+    from repro.core.protocol import MGSProtocol
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Server-side page replication and release engine."""
+
+    def __init__(self, ctx: "MGSProtocol") -> None:
+        self.ctx = ctx
+
+    # ------------------------------------------------------------------
+    # replication requests (arcs 17-19)
+    # ------------------------------------------------------------------
+
+    def on_request(
+        self, vpn: int, req_cluster: int, req_pid: int, want_write: bool
+    ) -> None:
+        ctx = self.ctx
+        home = ctx.home(vpn)
+        dispatch = ctx.dispatch_cost(req_cluster, vpn)
+        if home.state is ServerState.REL_IN_PROG:
+            ctx.machine.occupy(home.home_pid, dispatch)
+            queue = home.wr if want_write else home.rd
+            queue.append((req_cluster, req_pid))
+            ctx.stats.record("requests_queued_on_release")
+            return
+        self._grant(home, req_cluster, req_pid, want_write, dispatch)
+
+    def _grant(
+        self,
+        home: HomePage,
+        req_cluster: int,
+        req_pid: int,
+        want_write: bool,
+        dispatch: int,
+    ) -> None:
+        """Send page data to a requester and update the directories."""
+        ctx = self.ctx
+        costs = ctx.costs
+        home_cluster = ctx.config.cluster_of(home.home_pid)
+        lines = ctx.config.lines_per_page
+        work = dispatch + costs.server_read + costs.msg_send
+        if want_write:
+            work += costs.server_write_extra
+        if req_cluster == home_cluster:
+            # The home SSMP maps the physical home copy directly: no page
+            # cleaning, no DMA, and the frame will alias home data.
+            payload = home.data
+        else:
+            # Sending a page requires global coherence: clean the home
+            # SSMP's cached lines first (section 4.2.4), then DMA.
+            ctx.cache.flush_page(home_cluster, ctx.page_first_line(home.vpn), lines)
+            work += costs.clean_page(lines) + costs.dma_page(lines)
+            payload = home.data.copy()
+            ctx.stats.record("pages_transferred")
+            ctx.record_page(home.vpn, "transfers")
+        if want_write:
+            home.write_dir.add(req_cluster)
+            home.state = ServerState.WRITE
+        else:
+            home.read_dir.add(req_cluster)
+        completion = ctx.machine.occupy(home.home_pid, work)
+        label = MsgType.WDAT if want_write else MsgType.RDAT
+        ctx.machine.send(
+            home.home_pid,
+            req_pid,
+            ctx.local.on_data,
+            home.vpn,
+            req_cluster,
+            req_pid,
+            payload,
+            want_write,
+            at=completion,
+            label=label.value,
+            size=64 + ctx.config.page_size,
+        )
+
+    def on_wnotify(self, vpn: int, cluster: int) -> None:
+        """WNOTIFY: a read copy was upgraded to write (arc 18)."""
+        ctx = self.ctx
+        home = ctx.home(vpn)
+        ctx.machine.occupy(home.home_pid, ctx.dispatch_cost(cluster, vpn))
+        if home.state is ServerState.REL_IN_PROG:
+            home.pending_wnotify.append(cluster)
+            return
+        self._apply_wnotify(home, cluster)
+
+    def _apply_wnotify(self, home: HomePage, cluster: int) -> None:
+        home.read_dir.discard(cluster)
+        home.write_dir.add(cluster)
+        if home.state is ServerState.READ:
+            home.state = ServerState.WRITE
+
+    # ------------------------------------------------------------------
+    # release operations (arcs 20-23)
+    # ------------------------------------------------------------------
+
+    def on_rel(self, vpn: int, rel_cluster: int, rel_pid: int, on_done) -> None:
+        ctx = self.ctx
+        home = ctx.home(vpn)
+        dispatch = ctx.dispatch_cost(rel_cluster, vpn)
+        if home.state is ServerState.REL_IN_PROG:
+            ctx.machine.occupy(home.home_pid, dispatch)
+            frame = ctx.frame(rel_cluster, vpn)
+            if (
+                frame is not None
+                and frame.state is FrameState.WRITE
+                and frame.post_snapshot_writes
+            ):
+                # The releaser's copy holds writes newer than the round's
+                # data snapshot (possible only for retained or aliased
+                # write copies): coalescing would acknowledge a release
+                # whose data never reached home.  Re-play it as a fresh
+                # round once the current one completes.
+                home.pending_rels.append((vpn, rel_cluster, rel_pid, on_done))
+                ctx.stats.record("releases_deferred")
+                return
+            # Arc 22: queue the releaser; the in-flight round collects its
+            # diff, so a single completion satisfies everyone.
+            home.rl.append((rel_cluster, rel_pid, on_done))
+            ctx.stats.record("releases_coalesced")
+            return
+
+        rel_frame = ctx.frame(rel_cluster, vpn)
+        if rel_frame is None or rel_frame.state is FrameState.INVALID:
+            # A "join" release: the releaser's copy was already
+            # invalidated (its diff collected and merged by the round
+            # that did it, which has completed — otherwise we would be
+            # in REL_IN_PROG above).  The home is consistent with the
+            # releaser's writes; acknowledge without a new round.
+            completion = ctx.machine.occupy(
+                home.home_pid, dispatch + ctx.costs.msg_send
+            )
+            ctx.stats.record("joins_acked")
+            ctx.machine.send(
+                home.home_pid,
+                rel_pid,
+                ctx.local.on_rack,
+                rel_pid,
+                on_done,
+                at=completion,
+                label=MsgType.RACK.value,
+            )
+            return
+
+        directories = home.read_dir | home.write_dir
+        candidates = directories | {rel_cluster}
+        live: list[int] = []
+        for cluster in sorted(candidates):
+            frame = ctx.frame(cluster, vpn)
+            if frame is None or frame.state is FrameState.INVALID:
+                continue
+            if frame.state is FrameState.BUSY and cluster not in directories:
+                # Its data grant has not been sent yet (request queued or
+                # in flight): nothing to invalidate, and targeting it
+                # would deadlock against its pending fetch.
+                continue
+            live.append(cluster)
+
+        single_writer = (
+            ctx.options.single_writer_opt
+            and home.write_dir == {rel_cluster}
+            and not home.pending_wnotify
+            and rel_cluster in live
+            # No other replica may hold (or be acquiring) write
+            # privilege: an upgrade whose WNOTIFY is still in flight
+            # would make the retained copy stale.
+            and not any(
+                c != rel_cluster
+                and (f := ctx.frame(c, vpn)) is not None
+                and (f.state is FrameState.WRITE or f.lock_held)
+                for c in live
+            )
+        )
+        home.state = ServerState.REL_IN_PROG
+        home.rl = [(rel_cluster, rel_pid, on_done)]
+        home.rd = []
+        home.wr = []
+        home.count = len(live)
+        home.single_writer = rel_cluster if single_writer else None
+        ctx.stats.record("release_rounds")
+
+        work = dispatch + ctx.costs.server_release + ctx.costs.msg_send * len(live)
+        completion = ctx.machine.occupy(home.home_pid, work)
+        if not live:
+            ctx.sim.schedule_at(completion, self._complete_release, home)
+            return
+        for cluster in live:
+            frame = ctx.frame(cluster, vpn)
+            kind = "1w" if (single_writer and cluster == rel_cluster) else "inv"
+            label = MsgType.ONE_WINV if kind == "1w" else MsgType.INV
+            ctx.machine.send(
+                home.home_pid,
+                frame.owner_pid,
+                ctx.remote.on_inv,
+                vpn,
+                cluster,
+                "1w" if kind == "1w" else "inv",
+                at=completion,
+                label=label.value,
+            )
+
+    def on_inval_response(self, vpn: int, cluster: int, payload) -> None:
+        """ACK / DIFF / 1WDATA from a Remote Client (arcs 22-23)."""
+        ctx = self.ctx
+        home = ctx.home(vpn)
+        assert home.state is ServerState.REL_IN_PROG
+        dispatch = ctx.dispatch_cost(cluster, vpn)
+        kind = payload[0]
+        work = dispatch
+        if kind == "diff":
+            _tag, indices, values = payload
+            apply_diff(home.data, indices, values)
+            work += ctx.costs.apply_fixed + len(indices) * ctx.costs.apply_per_word
+            ctx.stats.record("diffs_merged")
+        elif kind == "full":
+            _tag, indices, values = payload
+            apply_diff(home.data, indices, values)
+            work += ctx.words_per_page * ctx.costs.apply_full_per_word
+            ctx.stats.record("full_pages_merged")
+        if kind in ("diff", "ack_dirty") and home.single_writer is not None:
+            # A cluster the server believed was a reader contributed
+            # writes — either a diff (it upgraded while its WNOTIFY raced
+            # this release) or direct home-copy writes through the home
+            # cluster's alias: the "single writer"'s retained copy is now
+            # stale and must be recalled before the round completes.
+            home.round_foreign_diff = True
+        completion = ctx.machine.occupy(home.home_pid, work)
+        home.count -= 1
+        assert home.count >= 0
+        if home.count == 0:
+            ctx.sim.schedule_at(completion, self._complete_release, home)
+
+    def _complete_release(self, home: HomePage) -> None:
+        """Arc 23: home is consistent; wake releasers and serve queues."""
+        ctx = self.ctx
+        if home.single_writer is not None and home.round_foreign_diff:
+            # A foreign writer surfaced during what started as a
+            # single-writer round: recall the retained copy before
+            # completing, otherwise it would serve stale data.
+            cluster = home.single_writer
+            home.single_writer = None
+            home.round_foreign_diff = False
+            frame = ctx.frame(cluster, home.vpn)
+            if frame is not None and frame.state is not FrameState.INVALID:
+                home.count = 1
+                completion = ctx.machine.occupy(home.home_pid, ctx.costs.msg_send)
+                ctx.stats.record("one_writer_recalls")
+                ctx.machine.send(
+                    home.home_pid,
+                    frame.owner_pid,
+                    ctx.remote.on_recall,
+                    home.vpn,
+                    cluster,
+                    at=completion,
+                    label=MsgType.INV.value,
+                )
+                return
+        home.round_foreign_diff = False
+        home.read_dir = set()
+        home.write_dir = set()
+        retained = home.single_writer
+        if retained is not None:
+            home.write_dir.add(retained)
+        home.single_writer = None
+        home.state = ServerState.WRITE if home.write_dir else ServerState.READ
+        if retained is not None:
+            # Wake the retained copy: its mapping lock was held through
+            # the round so it could not serve stale data mid-merge.
+            frame = ctx.frame(retained, home.vpn)
+            if frame is not None:
+                ctx.machine.send(
+                    home.home_pid,
+                    frame.owner_pid,
+                    ctx.remote.on_retained_unlock,
+                    home.vpn,
+                    retained,
+                    label="1W_UNLOCK",
+                )
+
+        releasers = home.rl
+        reads = home.rd
+        writes = home.wr
+        notifies = home.pending_wnotify
+        home.rl, home.rd, home.wr, home.pending_wnotify = [], [], [], []
+
+        send_work = ctx.costs.msg_send * max(1, len(releasers))
+        completion = ctx.machine.occupy(home.home_pid, send_work)
+        for _cluster, rel_pid, on_done in releasers:
+            ctx.machine.send(
+                home.home_pid,
+                rel_pid,
+                ctx.local.on_rack,
+                rel_pid,
+                on_done,
+                at=completion,
+                label=MsgType.RACK.value,
+            )
+        for cluster in notifies:
+            frame = ctx.frame(cluster, home.vpn)
+            if frame is not None and frame.state is FrameState.WRITE:
+                self._apply_wnotify(home, cluster)
+        for req_cluster, req_pid in reads:
+            self._grant(home, req_cluster, req_pid, False, 0)
+        for req_cluster, req_pid in writes:
+            self._grant(home, req_cluster, req_pid, True, 0)
+        if home.pending_rels:
+            # Releases covering post-snapshot writes start a new round
+            # (the first re-entry flips the state back to REL_IN_PROG;
+            # the rest coalesce into it or defer again).
+            pending = home.pending_rels
+            home.pending_rels = []
+            for args in pending:
+                self.on_rel(*args)

@@ -1,0 +1,5 @@
+"""Intra-SSMP hardware cache coherence (Alewife-style directory)."""
+
+from repro.hw.coherence import AccessClass, CacheSystem
+
+__all__ = ["AccessClass", "CacheSystem"]

@@ -1,0 +1,157 @@
+"""Functional model of Alewife's hardware cache coherence within an SSMP.
+
+The paper treats intra-SSMP hardware shared memory as a fast black box
+with the measured miss penalties of Table 3 (local 11, remote 38, 2-party
+42, 3-party 63 cycles, and 425 cycles once the software-extended LimitLESS
+directory takes over).  We reproduce exactly that: a per-cluster, per-line
+directory tracks which processors cache each line and in what state, and
+every access is classified into one of the cost classes.  Directory state
+changes take effect immediately (functional simulation); the access's
+latency class is charged to the issuing processor by the runtime.
+
+Classification rules:
+
+* **hit** — the line is already cached with sufficient privilege.
+* **local / remote miss** — the line is clean; cost depends on whether the
+  line's home memory (the node hosting the page frame) is the issuing
+  processor's own memory.
+* **2-party / 3-party miss** — the line is dirty in another processor's
+  cache (or, for writes, shared copies must be invalidated); the cost
+  depends on how many distinct nodes take part in the transaction.
+* **software directory** — the sharer set outgrew the hardware directory
+  pointers, so a software handler services the miss (Table 3's "Remote
+  Software", 425 cycles).
+
+Capacity and conflict misses are not modeled (the directory acts as if
+caches were infinite); the paper's working sets at our scaled problem
+sizes fit comfortably in Alewife's 64 KB SRAM, and the effects the paper
+studies — false sharing and multigrain locality — come from coherence
+misses, which are modeled.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+
+from repro.params import CostModel, MachineConfig
+
+__all__ = ["AccessClass", "CacheSystem"]
+
+
+class AccessClass(enum.Enum):
+    """Latency class of a hardware shared-memory access."""
+
+    HIT = "hit"
+    LOCAL = "local"
+    REMOTE = "remote"
+    TWO_PARTY = "2party"
+    THREE_PARTY = "3party"
+    SOFTWARE = "software"
+
+
+class CacheSystem:
+    """Per-cluster line directories with Table 3 cost classification."""
+
+    def __init__(self, config: MachineConfig, costs: CostModel) -> None:
+        self.config = config
+        self.costs = costs
+        # One directory per cluster: line id -> [owner_pid or -1, sharer set]
+        self._lines: list[dict[int, list]] = [
+            {} for _ in range(config.num_clusters)
+        ]
+        self.stats: Counter = Counter()
+        self._cost_of = {
+            AccessClass.HIT: costs.cache_hit,
+            AccessClass.LOCAL: costs.miss_local,
+            AccessClass.REMOTE: costs.miss_remote,
+            AccessClass.TWO_PARTY: costs.miss_2party,
+            AccessClass.THREE_PARTY: costs.miss_3party,
+            AccessClass.SOFTWARE: costs.miss_software_dir,
+        }
+
+    def access(
+        self, cluster: int, pid: int, line: int, is_write: bool, home_pid: int
+    ) -> int:
+        """Perform one access and return its cycle cost.
+
+        Args:
+            cluster: SSMP in which the access occurs (each SSMP has its
+                own copy of the page and hence its own line states).
+            pid: issuing processor.
+            line: global line index (address // line_size).
+            is_write: store vs load.
+            home_pid: processor whose memory hosts this cluster's frame.
+        """
+        klass = self._classify_and_update(cluster, pid, line, is_write, home_pid)
+        self.stats[klass] += 1
+        return self._cost_of[klass]
+
+    def _classify_and_update(
+        self, cluster: int, pid: int, line: int, is_write: bool, home_pid: int
+    ) -> AccessClass:
+        directory = self._lines[cluster]
+        state = directory.get(line)
+        if state is None:
+            state = [-1, set()]
+            directory[line] = state
+        owner, sharers = state[0], state[1]
+
+        if is_write:
+            if owner == pid:
+                return AccessClass.HIT
+            others = sharers - {pid}
+            if owner != -1:
+                # Dirty in another cache: fetch-exclusive, owner writes back.
+                klass = self._party_class(pid, home_pid, owner)
+            elif len(sharers) > self.config.hw_dir_pointers:
+                klass = AccessClass.SOFTWARE
+            elif not others:
+                klass = (
+                    AccessClass.LOCAL if home_pid == pid else AccessClass.REMOTE
+                )
+            else:
+                # Invalidate shared copies; cost scales with parties involved.
+                third = next(iter(others))
+                klass = self._party_class(pid, home_pid, third)
+                if len(others) > 1:
+                    klass = AccessClass.THREE_PARTY
+            state[0] = pid
+            state[1] = set()
+            return klass
+
+        # Load.
+        if owner == pid or (owner == -1 and pid in sharers):
+            return AccessClass.HIT
+        if owner != -1:
+            klass = self._party_class(pid, home_pid, owner)
+            state[1] = {pid, owner}
+            state[0] = -1
+            return klass
+        if len(sharers) > self.config.hw_dir_pointers:
+            sharers.add(pid)
+            return AccessClass.SOFTWARE
+        sharers.add(pid)
+        return AccessClass.LOCAL if home_pid == pid else AccessClass.REMOTE
+
+    @staticmethod
+    def _party_class(pid: int, home_pid: int, other: int) -> AccessClass:
+        parties = len({pid, home_pid, other})
+        return AccessClass.TWO_PARTY if parties <= 2 else AccessClass.THREE_PARTY
+
+    def flush_page(self, cluster: int, first_line: int, nlines: int) -> int:
+        """Drop all line state of a page in ``cluster`` (page cleaning).
+
+        Returns the number of lines that were actually present, which the
+        protocol can use for the ``fast_read_clean`` ablation.
+        """
+        directory = self._lines[cluster]
+        present = 0
+        for line in range(first_line, first_line + nlines):
+            if directory.pop(line, None) is not None:
+                present += 1
+        return present
+
+    def lines_cached(self, cluster: int) -> int:
+        """Number of lines with directory state in ``cluster``."""
+        return len(self._lines[cluster])

@@ -1,0 +1,5 @@
+"""Machine model: processors, SSMP clusters, and message delivery."""
+
+from repro.machine.machine import Machine, ProcessorState
+
+__all__ = ["Machine", "ProcessorState"]

@@ -1,0 +1,160 @@
+"""The simulated DSSMP: processors, clusters, and the two networks.
+
+A :class:`Machine` binds a :class:`~repro.sim.Simulator` to a
+:class:`~repro.params.MachineConfig` and provides the message substrate the
+MGS protocol engines run on.  Two latency regimes exist, mirroring the
+paper's Figure 1:
+
+* **internal network** — messages between processors of the same SSMP are
+  active messages over Alewife's mesh; we charge a small wire latency.
+* **external network** — messages that cross an SSMP boundary pay the
+  configurable ``inter_ssmp_delay`` (the paper's LAN model: a fixed
+  latency, no contention, exactly as in section 4.2.2).
+
+Handler model: a message handler runs at its arrival time, applies its
+state effects, and calls :meth:`Machine.occupy` with the handler's cycle
+cost.  ``occupy`` serializes handler execution per processor (one handler
+context drains at a time) and returns the completion time at which the
+handler schedules its own continuations (replies, wake-ups).  Handler
+cycles are recorded as "stolen" time so the thread driver can charge them
+against the application thread running on that processor, in the MGS
+bucket of the runtime breakdown — this is how the paper's software-
+coherence load imbalance (section 5.2.1, Water) emerges in the model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.params import CostModel, MachineConfig
+from repro.sim import Simulator
+
+__all__ = ["Machine", "ProcessorState"]
+
+#: Wire latency, in cycles, of the internal (intra-SSMP) network.
+INTRA_WIRE_LATENCY = 5
+
+
+@dataclass
+class ProcessorState:
+    """Bookkeeping for one simulated processor."""
+
+    pid: int
+    cluster: int
+    #: time at which the processor's handler context becomes free
+    handler_free_at: int = 0
+    #: handler cycles accumulated since the app thread last absorbed them
+    stolen_cycles: int = 0
+    #: lifetime handler cycles (statistics)
+    handler_cycles_total: int = 0
+    #: messages handled on this processor
+    messages_handled: int = 0
+
+
+@dataclass
+class MessageStats:
+    """Counts of protocol messages, split by network."""
+
+    inter_ssmp: int = 0
+    intra_ssmp: int = 0
+    #: bytes shipped over the external network
+    inter_ssmp_bytes: int = 0
+    #: cycles inter-SSMP messages spent queued for the shared LAN link
+    #: (only nonzero when MachineConfig.lan_bandwidth > 0)
+    lan_queue_cycles: int = 0
+    by_label: Counter = field(default_factory=Counter)
+
+
+class Machine:
+    """A DSSMP built from ``config.num_clusters`` SSMPs.
+
+    The machine knows nothing about pages or coherence; it only delivers
+    messages with the right latency and serializes handler occupancy per
+    destination processor.
+    """
+
+    def __init__(self, sim: Simulator, config: MachineConfig, costs: CostModel) -> None:
+        self.sim = sim
+        self.config = config
+        self.costs = costs
+        self.processors = [
+            ProcessorState(pid=p, cluster=config.cluster_of(p))
+            for p in range(config.total_processors)
+        ]
+        self.stats = MessageStats()
+        self._lan_free_at = 0
+
+    def wire_latency(self, src: int, dst: int) -> int:
+        """One-way latency between two processors."""
+        if self.processors[src].cluster == self.processors[dst].cluster:
+            return INTRA_WIRE_LATENCY
+        return self.config.inter_ssmp_delay
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        fn: Callable[..., None],
+        *args: Any,
+        label: str = "msg",
+        at: int | None = None,
+        size: int = 64,
+    ) -> None:
+        """Send a message from processor ``src`` to processor ``dst``.
+
+        ``fn(*args)`` runs at the arrival time; it is responsible for
+        calling :meth:`occupy` with its handler cost and for scheduling
+        any continuations at the returned completion time.
+
+        Args:
+            at: send time; defaults to ``sim.now``.  Threads running ahead
+                of the global clock inside a quantum pass their local time.
+            size: message size in bytes (control messages default to 64;
+                data-carrying messages pass their payload size).  Only
+                matters when LAN contention modeling is enabled.
+        """
+        send_time = self.sim.now if at is None else at
+        if self.processors[src].cluster == self.processors[dst].cluster:
+            self.stats.intra_ssmp += 1
+            arrival = send_time + INTRA_WIRE_LATENCY
+        else:
+            self.stats.inter_ssmp += 1
+            self.stats.inter_ssmp_bytes += size
+            arrival = send_time + self.config.inter_ssmp_delay
+            bandwidth = self.config.lan_bandwidth
+            if bandwidth > 0:
+                # The external network is one shared link: messages
+                # serialize at `bandwidth` bytes/cycle (the contention
+                # the paper's fixed-latency model leaves out).
+                start = max(send_time, self._lan_free_at)
+                transfer = max(1, round(size / bandwidth))
+                self._lan_free_at = start + transfer
+                self.stats.lan_queue_cycles += start - send_time
+                arrival = start + transfer + self.config.inter_ssmp_delay
+        self.stats.by_label[label] += 1
+        self.sim.schedule_at(arrival, fn, *args)
+
+    def occupy(self, pid: int, cycles: int) -> int:
+        """Charge ``cycles`` of handler execution to processor ``pid``.
+
+        Serializes with other handlers on the same processor: execution
+        begins no earlier than the previous handler's completion.  Returns
+        the completion time, at which the caller should schedule replies.
+        """
+        proc = self.processors[pid]
+        start = max(self.sim.now, proc.handler_free_at)
+        finish = start + cycles
+        proc.handler_free_at = finish
+        proc.stolen_cycles += cycles
+        proc.handler_cycles_total += cycles
+        proc.messages_handled += 1
+        return finish
+
+    def take_stolen(self, pid: int) -> int:
+        """Drain and return the stolen handler cycles of processor ``pid``."""
+        proc = self.processors[pid]
+        stolen = proc.stolen_cycles
+        proc.stolen_cycles = 0
+        return stolen

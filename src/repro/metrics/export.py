@@ -1,0 +1,86 @@
+"""Serialization of sweep results for external analysis and plotting."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.metrics.framework import ClusterSweep
+from repro.runtime import RunResult
+
+__all__ = ["sweep_to_csv", "sweep_to_dict", "run_result_to_dict"]
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """A JSON-ready summary of one execution."""
+    return {
+        "total_processors": result.config.total_processors,
+        "cluster_size": result.config.cluster_size,
+        "inter_ssmp_delay": result.config.inter_ssmp_delay,
+        "page_size": result.config.page_size,
+        "total_time": result.total_time,
+        "breakdown": result.breakdown(),
+        "lock": {
+            "acquires": result.lock_stats.acquires,
+            "hits": result.lock_stats.hits,
+            "hit_ratio": result.lock_stats.hit_ratio,
+            "token_transfers": result.lock_stats.token_transfers,
+        },
+        "protocol": result.protocol_stats,
+        "messages": {
+            "inter_ssmp": result.messages_inter_ssmp,
+            "intra_ssmp": result.messages_intra_ssmp,
+        },
+        "cache": result.cache_stats,
+    }
+
+
+def sweep_to_dict(sweep: ClusterSweep) -> dict:
+    """A JSON-ready record of a full cluster-size sweep."""
+    return {
+        "app": sweep.app,
+        "total_processors": sweep.total_processors,
+        "breakup_penalty": sweep.breakup_penalty,
+        "multigrain_potential": sweep.multigrain_potential,
+        "multigrain_curvature": sweep.curvature,
+        "points": [
+            {
+                "cluster_size": p.cluster_size,
+                "total_time": p.total_time,
+                "breakdown": p.breakdown,
+                "lock_hit_ratio": p.lock_hit_ratio,
+                "lock_acquires": p.lock_acquires,
+                "messages_inter_ssmp": p.messages_inter_ssmp,
+            }
+            for p in sweep.points
+        ],
+    }
+
+
+def sweep_to_csv(sweep: ClusterSweep) -> str:
+    """One row per cluster size: the series behind Figures 6-10/12."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["app", "cluster_size", "total_time", "user", "lock", "barrier",
+         "mgs", "lock_hit_ratio"]
+    )
+    for p in sweep.points:
+        writer.writerow(
+            [
+                sweep.app,
+                p.cluster_size,
+                p.total_time,
+                round(p.breakdown.get("user", 0.0)),
+                round(p.breakdown.get("lock", 0.0)),
+                round(p.breakdown.get("barrier", 0.0)),
+                round(p.breakdown.get("mgs", 0.0)),
+                f"{p.lock_hit_ratio:.4f}",
+            ]
+        )
+    return buf.getvalue()
+
+
+def sweep_to_json(sweep: ClusterSweep) -> str:
+    return json.dumps(sweep_to_dict(sweep), indent=2)

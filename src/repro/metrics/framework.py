@@ -1,0 +1,137 @@
+"""Breakup penalty, multigrain potential, and multigrain curvature.
+
+The paper's framework (section 2.4) fixes the total processor count P and
+varies the cluster size C from 1 to P in powers of two.  Three metrics
+characterize an application (Figure 2):
+
+* **breakup penalty** — the execution-time increase from C = P to
+  C = P/2: the minimum price of breaking a tightly-coupled machine into
+  clusters.  Reported as ``T(P/2)/T(P) - 1``.
+* **multigrain potential** — the execution-time difference between C = 1
+  and C = P/2: the benefit of capturing fine-grain sharing inside
+  clusters.  Reported as ``T(1)/T(P/2) - 1`` (the paper quotes values
+  above 100%, so the denominator is the smaller time).
+* **multigrain curvature** — the shape of the curve between C = 1 and
+  C = P/2.  *Convex* means most of the potential is gained already at
+  small cluster sizes (good for DSSMPs built from small SSMPs); *concave*
+  means the gains only arrive near C = P/2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "cluster_sizes",
+    "breakup_penalty",
+    "multigrain_potential",
+    "curvature",
+    "SweepPoint",
+    "ClusterSweep",
+]
+
+#: interior deviation (fraction of T(1)) below which a curve is "linear"
+CURVATURE_THRESHOLD = 0.02
+
+
+def cluster_sizes(total_processors: int) -> list[int]:
+    """Powers of two from 1 to P (the x-axis of Figures 6-10)."""
+    if total_processors < 1 or total_processors & (total_processors - 1):
+        raise ValueError("total_processors must be a power of two")
+    sizes = []
+    c = 1
+    while c <= total_processors:
+        sizes.append(c)
+        c *= 2
+    return sizes
+
+
+def breakup_penalty(times: dict[int, float], total_processors: int) -> float:
+    """``T(P/2)/T(P) - 1``: the cost of the first break-up."""
+    if total_processors < 2:
+        raise ValueError("need at least two processors")
+    return times[total_processors // 2] / times[total_processors] - 1.0
+
+
+def multigrain_potential(times: dict[int, float], total_processors: int) -> float:
+    """``T(1)/T(P/2) - 1``: the win from intra-cluster fine-grain sharing."""
+    if total_processors < 2:
+        raise ValueError("need at least two processors")
+    return times[1] / times[total_processors // 2] - 1.0
+
+
+def curvature(times: dict[int, float], total_processors: int) -> str:
+    """Classify the curve between C=1 and C=P/2.
+
+    Interior points are compared against the straight chord in
+    (log2 C, time) space.  Mostly below the chord -> times fall quickly at
+    small C -> "convex"; mostly above -> "concave"; near it -> "linear".
+    """
+    import math
+
+    half = total_processors // 2
+    cs = [c for c in sorted(times) if 1 <= c <= half]
+    if len(cs) < 3:
+        return "linear"
+    x0, x1 = math.log2(cs[0]), math.log2(cs[-1])
+    y0, y1 = times[cs[0]], times[cs[-1]]
+    deviations = []
+    for c in cs[1:-1]:
+        x = math.log2(c)
+        chord = y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+        deviations.append((times[c] - chord) / times[cs[0]])
+    mean_dev = sum(deviations) / len(deviations)
+    if mean_dev > CURVATURE_THRESHOLD:
+        return "concave"
+    if mean_dev < -CURVATURE_THRESHOLD:
+        return "convex"
+    return "linear"
+
+
+@dataclass
+class SweepPoint:
+    """One cluster-size configuration of a sweep."""
+
+    cluster_size: int
+    total_time: int
+    breakdown: dict[str, float]
+    lock_hit_ratio: float
+    lock_acquires: int = 0
+    protocol_stats: dict[str, int] = field(default_factory=dict)
+    messages_inter_ssmp: int = 0
+
+
+@dataclass
+class ClusterSweep:
+    """A full execution-time-vs-cluster-size curve for one application."""
+
+    app: str
+    total_processors: int
+    points: list[SweepPoint]
+
+    def times(self) -> dict[int, float]:
+        return {p.cluster_size: float(p.total_time) for p in self.points}
+
+    @property
+    def breakup_penalty(self) -> float:
+        return breakup_penalty(self.times(), self.total_processors)
+
+    @property
+    def multigrain_potential(self) -> float:
+        return multigrain_potential(self.times(), self.total_processors)
+
+    @property
+    def curvature(self) -> str:
+        return curvature(self.times(), self.total_processors)
+
+    def point(self, cluster_size: int) -> SweepPoint:
+        for p in self.points:
+            if p.cluster_size == cluster_size:
+                return p
+        raise KeyError(f"no sweep point for C={cluster_size}")
+
+    def normalized_times(self) -> dict[int, float]:
+        """Times relative to the tightly-coupled configuration (C = P)."""
+        times = self.times()
+        base = times[self.total_processors]
+        return {c: t / base for c, t in times.items()}

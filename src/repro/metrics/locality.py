@@ -1,0 +1,98 @@
+"""Multigrain-locality analysis: where does each page's sharing happen?
+
+The paper's conclusion points at "compiler and runtime support for
+multigrain locality" as the next step.  This module is the runtime half
+of that idea: it turns the protocol's per-page event counts into a
+report showing which data structures exhibit multigrain locality (shared
+at fine grain inside SSMPs, page grain across) and which ones ping-pong
+at page grain — the candidates for a transformation like the Water
+kernel's tiling (section 5.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime import Runtime
+
+__all__ = ["SegmentLocality", "locality_report", "render_locality_report"]
+
+
+@dataclass
+class SegmentLocality:
+    """Sharing behaviour of one allocation, aggregated over its pages."""
+
+    name: str
+    pages: int
+    faults: int
+    page_transfers: int
+    invalidations: int
+    diff_words: int
+    hw_accesses: int
+
+    @property
+    def software_share(self) -> float:
+        """Fraction of this segment's traffic handled by the software
+        protocol — high values mean page-grain ping-ponging."""
+        total = self.hw_accesses + self.faults
+        if total == 0:
+            return 0.0
+        return self.faults / total
+
+    @property
+    def transfers_per_page(self) -> float:
+        return self.page_transfers / self.pages if self.pages else 0.0
+
+
+def locality_report(rt: Runtime) -> list[SegmentLocality]:
+    """Aggregate the protocol's per-page counters by allocation."""
+    per_page = rt.protocol.page_stats
+    hw_hits = sum(rt.cache.stats.values())
+    segments = []
+    page_size = rt.config.page_size
+    for seg in rt.aspace.segments:
+        first = seg.base // page_size
+        npages = seg.size // page_size
+        faults = transfers = invals = diff_words = 0
+        for vpn in range(first, first + npages):
+            counts = per_page.get(vpn)
+            if not counts:
+                continue
+            faults += counts.get("faults", 0)
+            transfers += counts.get("transfers", 0)
+            invals += counts.get("invalidations", 0)
+            diff_words += counts.get("diff_words", 0)
+        segments.append(
+            SegmentLocality(
+                name=seg.name,
+                pages=npages,
+                faults=faults,
+                page_transfers=transfers,
+                invalidations=invals,
+                diff_words=diff_words,
+                hw_accesses=hw_hits,  # machine-wide; used for the ratio
+            )
+        )
+    return segments
+
+
+def render_locality_report(segments: list[SegmentLocality]) -> str:
+    from repro.bench.report import render_table
+
+    rows = [
+        [
+            s.name,
+            str(s.pages),
+            str(s.faults),
+            str(s.page_transfers),
+            str(s.invalidations),
+            str(s.diff_words),
+            f"{s.transfers_per_page:.1f}",
+        ]
+        for s in sorted(segments, key=lambda s: -s.page_transfers)
+    ]
+    return render_table(
+        ["segment", "pages", "faults", "transfers", "invals",
+         "diff words", "transfers/page"],
+        rows,
+    )

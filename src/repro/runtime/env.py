@@ -1,0 +1,154 @@
+"""The programming environment simulated application threads run against.
+
+Application code is written as Python generators; every potentially
+blocking operation is a sub-generator used with ``yield from``:
+
+.. code-block:: python
+
+    def worker(env):
+        value = yield from env.read(array.addr(i))
+        yield from env.write(array.addr(j), value + 1.0)
+        yield from env.lock(lk)
+        ...
+        yield from env.unlock(lk)
+        yield from env.barrier()
+
+Reads and writes that hit in the TLB and hardware cache are charged to
+the thread's local clock without touching the global event queue; only
+mapping faults, synchronization, and quantum expiry suspend the thread.
+This mirrors the real system, where hardware shared memory needs no
+software intervention and only TLB faults enter the MGS protocol.
+
+At cluster size C == P (``hardware_only``), MGS calls are nulled exactly
+as in the paper's 32-processor runs: accesses go straight to the home
+copy through hardware coherence, only the software-virtual-memory
+translation overhead remains, and release points flush nothing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.params import WORD_BYTES
+from repro.svm import MapMode
+
+if TYPE_CHECKING:
+    from repro.runtime.runner import Runtime
+    from repro.runtime.thread import ThreadContext
+    from repro.sync import MGSLock
+
+__all__ = ["Env"]
+
+
+class Env:
+    """Per-thread view of the machine."""
+
+    def __init__(self, runtime: "Runtime", thread: "ThreadContext") -> None:
+        self._rt = runtime
+        self._t = thread
+        self.pid = thread.pid
+        config = runtime.config
+        self.cluster = config.cluster_of(self.pid)
+        self.nprocs = config.total_processors
+        self._page_size = config.page_size
+        self._line_size = config.line_size
+        self._quantum = runtime.quantum
+        self._hw_only = config.hardware_only
+        self._protocol = runtime.protocol
+        self._cache = runtime.cache
+        self._tlb = runtime.protocol.tlbs[self.pid]
+        self._frames = runtime.protocol.frames[self.cluster]
+        self._costs = runtime.costs
+
+    # ------------------------------------------------------------------
+    # memory operations
+    # ------------------------------------------------------------------
+
+    def read(self, addr: int, ptr: bool = False):
+        """Load one shared word.  Usage: ``v = yield from env.read(a)``."""
+        t = self._t
+        costs = self._costs
+        t.charge_user(costs.translate_pointer if ptr else costs.translate_array)
+        vpn = addr // self._page_size
+        if self._hw_only:
+            data = self._hw_frame(vpn, t)
+        else:
+            while self._tlb.lookup(vpn) is None:
+                yield ("fault", vpn, False)
+            data = self._frames[vpn].data
+        owner = self._owner_pid(vpn)
+        t.charge_user(
+            self._cache.access(self.cluster, self.pid, addr // self._line_size, False, owner)
+        )
+        if t.time - t.last_yield > self._quantum:
+            yield ("pause",)
+        return float(data[(addr % self._page_size) // WORD_BYTES])
+
+    def write(self, addr: int, value: float, ptr: bool = False):
+        """Store one shared word.  Usage: ``yield from env.write(a, v)``."""
+        t = self._t
+        costs = self._costs
+        t.charge_user(costs.translate_pointer if ptr else costs.translate_array)
+        vpn = addr // self._page_size
+        if self._hw_only:
+            data = self._hw_frame(vpn, t)
+        else:
+            while not self._tlb.has_write(vpn):
+                yield ("fault", vpn, True)
+            data = self._frames[vpn].data
+        owner = self._owner_pid(vpn)
+        t.charge_user(
+            self._cache.access(self.cluster, self.pid, addr // self._line_size, True, owner)
+        )
+        data[(addr % self._page_size) // WORD_BYTES] = value
+        if t.time - t.last_yield > self._quantum:
+            yield ("pause",)
+
+    def compute(self, cycles: int):
+        """Spend ``cycles`` of pure computation."""
+        t = self._t
+        t.charge_user(cycles)
+        if t.time - t.last_yield > self._quantum:
+            yield ("pause",)
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+
+    def lock(self, lk: "MGSLock"):
+        """Acquire an MGS lock (an acquire point; no protocol action
+        needed because MGS invalidates eagerly at releases)."""
+        yield ("lock", lk)
+
+    def unlock(self, lk: "MGSLock"):
+        """Release an MGS lock.  This is a release point: the DUQ is
+        flushed *before* the lock is freed — the source of the paper's
+        critical-section dilation."""
+        yield ("unlock", lk)
+
+    def barrier(self):
+        """Wait on the global barrier (also a release point)."""
+        yield ("barrier",)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _owner_pid(self, vpn: int) -> int:
+        if self._hw_only:
+            return self._rt.aspace.home_proc(vpn)
+        return self._frames[vpn].owner_pid
+
+    def _hw_frame(self, vpn: int, t):
+        """Home-copy access for the tightly-coupled configuration."""
+        tlb = self._tlb
+        if tlb.lookup(vpn) is None:
+            # Only SVM overhead remains at C == P: a one-time fill.
+            t.charge_user(self._costs.fault_overhead + self._costs.map_fill)
+            tlb.fill(vpn, MapMode.WRITE)
+        return self._protocol.home(vpn).data
+
+    @property
+    def now(self) -> int:
+        """The thread's local clock (cycles)."""
+        return self._t.time

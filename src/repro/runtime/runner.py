@@ -1,0 +1,265 @@
+"""The Runtime: builds a simulated DSSMP and drives application threads.
+
+Typical use (what every app in :mod:`repro.apps` does):
+
+.. code-block:: python
+
+    rt = Runtime(MachineConfig(total_processors=8, cluster_size=2))
+    data = rt.array("data", 1024)
+    data.init(range(1024))
+    lk = rt.create_lock()
+    rt.spawn_all(worker)           # one generator per processor
+    result = rt.run()
+    print(result.total_time, result.breakdown())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core import MGSProtocol
+from repro.hw import CacheSystem
+from repro.machine import Machine
+from repro.params import CostModel, MachineConfig
+from repro.runtime.env import Env
+from repro.runtime.shared import SharedArray
+from repro.runtime.thread import ThreadContext
+from repro.sim import Simulator
+from repro.svm import AccessKind, AddressSpace
+from repro.sync import LockStats, MGSLock, TreeBarrier
+
+__all__ = ["Runtime", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark needs from one simulated execution."""
+
+    config: MachineConfig
+    total_time: int
+    threads: list[ThreadContext]
+    lock_stats: LockStats
+    protocol_stats: dict[str, int]
+    messages_inter_ssmp: int
+    messages_intra_ssmp: int
+    cache_stats: dict[str, int] = field(default_factory=dict)
+
+    def breakdown(self) -> dict[str, float]:
+        """Average per-processor cycle breakdown (the paper's bars).
+
+        Time between a thread's finish and the end of the run counts as
+        barrier wait (threads end at the final barrier together; residual
+        skew is synchronization slack).
+        """
+        n = len(self.threads)
+        out = {"user": 0.0, "lock": 0.0, "barrier": 0.0, "mgs": 0.0}
+        for t in self.threads:
+            out["user"] += t.user
+            out["lock"] += t.lock
+            out["barrier"] += t.barrier + (self.total_time - t.finish_time)
+            out["mgs"] += t.mgs
+        return {k: v / n for k, v in out.items()}
+
+    @property
+    def speedup_denominator(self) -> int:
+        return self.total_time
+
+
+class Runtime:
+    """One simulated DSSMP execution context."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        costs: CostModel | None = None,
+        quantum: int = 1500,
+    ) -> None:
+        self.config = config
+        self.costs = costs if costs is not None else CostModel()
+        self.quantum = quantum
+        self.sim = Simulator()
+        self.machine = Machine(self.sim, config, self.costs)
+        self.aspace = AddressSpace(config)
+        self.cache = CacheSystem(config, self.costs)
+        self.protocol = MGSProtocol(
+            self.sim, self.machine, self.aspace, self.cache, config, self.costs
+        )
+        self.barrier_obj = TreeBarrier(self.machine, config, self.costs)
+        self.locks: list[MGSLock] = []
+        self.threads: list[ThreadContext] = []
+        self._spawned = False
+
+    # ------------------------------------------------------------------
+    # setup API
+    # ------------------------------------------------------------------
+
+    def array(
+        self,
+        name: str,
+        length: int,
+        home: int | Callable[[int], int] | None = None,
+        kind: AccessKind = AccessKind.ARRAY,
+    ) -> SharedArray:
+        """Allocate a shared array of ``length`` words."""
+        return SharedArray(self, name, length, home, kind)
+
+    def create_lock(self, home_cluster: int | None = None) -> MGSLock:
+        """Create an MGS lock; its global lock lives on ``home_cluster``."""
+        lock_id = len(self.locks)
+        if home_cluster is None:
+            home_cluster = lock_id % self.config.num_clusters
+        lk = MGSLock(self.machine, self.config, self.costs, lock_id, home_cluster)
+        self.locks.append(lk)
+        return lk
+
+    def spawn(self, genfunc: Callable[[Env], object]) -> ThreadContext:
+        """Add one application thread; it runs on the next processor."""
+        pid = len(self.threads)
+        if pid >= self.config.total_processors:
+            raise RuntimeError("more threads than processors")
+        thread = ThreadContext(pid=pid, gen=None)  # type: ignore[arg-type]
+        env = Env(self, thread)
+        thread.gen = genfunc(env)
+        self.threads.append(thread)
+        return thread
+
+    def spawn_all(self, genfunc: Callable[[Env], object]) -> None:
+        """One thread per processor."""
+        for _ in range(self.config.total_processors):
+            self.spawn(genfunc)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, max_events: int | None = None) -> RunResult:
+        """Drive every thread to completion and gather statistics."""
+        if not self.threads:
+            raise RuntimeError("no threads spawned")
+        for t in self.threads:
+            self.sim.schedule_at(0, self._resume, t, None)
+        self.sim.run(max_events=max_events)
+        unfinished = [t.pid for t in self.threads if not t.done]
+        if unfinished:
+            raise RuntimeError(
+                f"threads {unfinished} never finished (deadlock or missing barrier)"
+            )
+        total = max(t.finish_time for t in self.threads)
+        lock_stats = LockStats()
+        for lk in self.locks:
+            lock_stats.acquires += lk.stats.acquires
+            lock_stats.hits += lk.stats.hits
+            lock_stats.token_transfers += lk.stats.token_transfers
+        return RunResult(
+            config=self.config,
+            total_time=total,
+            threads=self.threads,
+            lock_stats=lock_stats,
+            protocol_stats=self.protocol.stats.as_dict(),
+            messages_inter_ssmp=self.machine.stats.inter_ssmp,
+            messages_intra_ssmp=self.machine.stats.intra_ssmp,
+            cache_stats={k.value: v for k, v in self.cache.stats.items()},
+        )
+
+    # ------------------------------------------------------------------
+    # the driver
+    # ------------------------------------------------------------------
+
+    def _absorb_stolen(self, t: ThreadContext) -> None:
+        """Handler cycles executed on this processor while the thread ran
+        push the thread's clock forward; they are MGS protocol time."""
+        stolen = self.machine.take_stolen(t.pid)
+        if stolen:
+            t.charge_mgs(stolen)
+
+    def _discard_stolen(self, t: ThreadContext) -> None:
+        """While the thread was blocked, its processor was idle anyway;
+        handler cycles do not additionally delay it."""
+        self.machine.take_stolen(t.pid)
+
+    def _resume(self, t: ThreadContext, value=None) -> None:
+        self._absorb_stolen(t)
+        try:
+            req = t.gen.send(value)
+        except StopIteration:
+            t.done = True
+            t.finish_time = t.time
+            return
+        op = req[0]
+        if op == "pause":
+            t.last_yield = t.time
+            self.sim.schedule_at(t.time, self._resume, t, None)
+        elif op == "fault":
+            self._handle_fault(t, req[1], req[2])
+        elif op == "lock":
+            self._handle_lock(t, req[1])
+        elif op == "unlock":
+            self._handle_unlock(t, req[1])
+        elif op == "barrier":
+            self._handle_barrier(t)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown thread request {req!r}")
+
+    def _wake(self, t: ThreadContext, bucket: str) -> None:
+        now = self.sim.now
+        elapsed = now - t.block_start
+        t.time = now
+        setattr(t, bucket, getattr(t, bucket) + elapsed)
+        self._discard_stolen(t)
+        t.last_yield = now
+        self._resume(t, None)
+
+    def _handle_fault(self, t: ThreadContext, vpn: int, want_write: bool) -> None:
+        t.block_start = t.time
+        self.sim.schedule_at(
+            t.time,
+            self.protocol.fault,
+            t.pid,
+            vpn,
+            want_write,
+            lambda: self._wake(t, "mgs"),
+        )
+
+    def _handle_lock(self, t: ThreadContext, lk: MGSLock) -> None:
+        t.block_start = t.time
+        self.sim.schedule_at(
+            t.time, lk.acquire, t.pid, lambda: self._wake(t, "lock")
+        )
+
+    def _handle_unlock(self, t: ThreadContext, lk: MGSLock) -> None:
+        t.block_start = t.time
+        if self.config.hardware_only:
+            self.sim.schedule_at(
+                t.time, lk.release, t.pid, lambda: self._wake(t, "lock")
+            )
+            return
+
+        # Release consistency: flush the DUQ, then free the lock.  The
+        # flush is software coherence (MGS bucket); waiters meanwhile
+        # accumulate lock time — critical-section dilation, emerging.
+        def after_flush() -> None:
+            now = self.sim.now
+            t.mgs += now - t.block_start
+            t.time = now
+            t.block_start = now
+            lk.release(t.pid, lambda: self._wake(t, "lock"))
+
+        self.sim.schedule_at(t.time, self.protocol.release, t.pid, after_flush)
+
+    def _handle_barrier(self, t: ThreadContext) -> None:
+        t.block_start = t.time
+        if self.config.hardware_only:
+            self.sim.schedule_at(
+                t.time, self.barrier_obj.arrive, t.pid, lambda: self._wake(t, "barrier")
+            )
+            return
+
+        def after_flush() -> None:
+            now = self.sim.now
+            t.mgs += now - t.block_start
+            t.time = now
+            t.block_start = now
+            self.barrier_obj.arrive(t.pid, lambda: self._wake(t, "barrier"))
+
+        self.sim.schedule_at(t.time, self.protocol.release, t.pid, after_flush)

@@ -1,0 +1,83 @@
+"""Shared arrays: the allocation-level API applications use."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable
+
+import numpy as np
+
+from repro.params import WORD_BYTES
+from repro.svm import AccessKind
+
+if TYPE_CHECKING:
+    from repro.runtime.runner import Runtime
+
+__all__ = ["SharedArray"]
+
+
+class SharedArray:
+    """A distributed array of 8-byte words in shared virtual memory.
+
+    Values are stored as float64 words (integers survive exactly up to
+    2**53).  The array is page-aligned; its pages may be distributed
+    across processor memories with the ``home`` argument, mirroring how
+    the paper's applications distribute their main data structures.
+    """
+
+    def __init__(
+        self,
+        runtime: "Runtime",
+        name: str,
+        length: int,
+        home: int | Callable[[int], int] | None = None,
+        kind: AccessKind = AccessKind.ARRAY,
+    ) -> None:
+        self._rt = runtime
+        self.name = name
+        self.length = length
+        self.kind = kind
+        self.seg = runtime.aspace.alloc(name, length * WORD_BYTES, kind, home)
+        self.base = self.seg.base
+
+    def addr(self, index: int) -> int:
+        """Byte address of element ``index``."""
+        if not 0 <= index < self.length:
+            raise IndexError(f"{self.name}[{index}] out of range (len={self.length})")
+        return self.base + index * WORD_BYTES
+
+    # ------------------------------------------------------------------
+    # zero-cost loading / inspection (outside the timed region)
+    # ------------------------------------------------------------------
+
+    def init(self, values: Iterable[float]) -> None:
+        """Load initial contents into the home copies, cost-free."""
+        values = np.asarray(list(values), dtype=np.float64)
+        if len(values) != self.length:
+            raise ValueError(
+                f"init of {self.name}: got {len(values)} values, need {self.length}"
+            )
+        protocol = self._rt.protocol
+        wpp = self._rt.config.words_per_page
+        first_vpn = self.base // self._rt.config.page_size
+        for start in range(0, self.length, wpp):
+            vpn = first_vpn + start // wpp
+            chunk = values[start : start + wpp]
+            protocol.home(vpn).data[: len(chunk)] = chunk
+
+    def snapshot(self) -> np.ndarray:
+        """Read the home copies (authoritative after the final barrier)."""
+        protocol = self._rt.protocol
+        wpp = self._rt.config.words_per_page
+        first_vpn = self.base // self._rt.config.page_size
+        out = np.empty(self.length, dtype=np.float64)
+        for start in range(0, self.length, wpp):
+            vpn = first_vpn + start // wpp
+            n = min(wpp, self.length - start)
+            out[start : start + n] = protocol.home(vpn).data[:n]
+        return out
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SharedArray({self.name!r}, len={self.length}, base={self.base:#x})"

@@ -1,0 +1,5 @@
+"""Deterministic discrete-event simulation engine."""
+
+from repro.sim.engine import Simulator
+
+__all__ = ["Simulator"]

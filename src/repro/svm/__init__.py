@@ -1,0 +1,6 @@
+"""Software virtual memory: address space layout, page homes, TLBs."""
+
+from repro.svm.address import AccessKind, AddressSpace, Segment
+from repro.svm.tlb import TLB, MapMode
+
+__all__ = ["AccessKind", "AddressSpace", "Segment", "TLB", "MapMode"]

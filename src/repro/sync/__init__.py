@@ -1,0 +1,6 @@
+"""Hierarchy-aware synchronization library (section 3.2 of the paper)."""
+
+from repro.sync.barrier import TreeBarrier
+from repro.sync.mgs_lock import LockStats, MGSLock
+
+__all__ = ["MGSLock", "LockStats", "TreeBarrier"]

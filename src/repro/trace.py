@@ -1,0 +1,155 @@
+"""First-class protocol tracing.
+
+Attach a :class:`ProtocolTracer` to a runtime before running and every
+protocol-level event — faults, grants, release rounds, invalidations,
+TLB shootdowns, diffs — is recorded with its simulated time and the
+page's state snapshot.  The traces that debugged this reproduction's
+protocol races (DESIGN.md notes 6-8) were exactly these.
+
+Example::
+
+    rt = Runtime(config)
+    tracer = ProtocolTracer(rt, pages=[vpn])   # or pages=None for all
+    ... build and run ...
+    print(tracer.render())
+
+Tracing wraps engine methods at attach time and is zero-cost when not
+attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.page import FrameState
+
+if TYPE_CHECKING:
+    from repro.runtime import Runtime
+
+__all__ = ["TraceEvent", "ProtocolTracer"]
+
+
+@dataclass
+class TraceEvent:
+    """One protocol event."""
+
+    time: int
+    vpn: int
+    kind: str
+    detail: str
+    snapshot: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:>12,}] vpn={self.vpn:#x} {self.kind:<10} {self.detail}  |  {self.snapshot}"
+
+
+class ProtocolTracer:
+    """Records protocol events for selected pages of one runtime."""
+
+    def __init__(self, rt: "Runtime", pages: Iterable[int] | None = None) -> None:
+        self.rt = rt
+        self.pages = set(pages) if pages is not None else None
+        self.events: list[TraceEvent] = []
+        self._attach()
+
+    # ------------------------------------------------------------------
+
+    def _want(self, vpn: int) -> bool:
+        return self.pages is None or vpn in self.pages
+
+    def _snapshot(self, vpn: int) -> str:
+        ctx = self.rt.protocol
+        home = ctx.homes.get(vpn)
+        if home is None:
+            return "home: untouched"
+        parts = [
+            f"server={home.state.value}"
+            f" rd={sorted(home.read_dir)} wr={sorted(home.write_dir)}"
+        ]
+        if home.single_writer is not None:
+            parts.append(f"1w={home.single_writer}")
+        for cluster in range(self.rt.config.num_clusters):
+            frame = ctx.frame(cluster, vpn)
+            if frame is None or frame.state is FrameState.INVALID:
+                continue
+            flags = ""
+            if frame.lock_held:
+                flags += "L"
+            if frame.aliases_home:
+                flags += "A"
+            parts.append(
+                f"c{cluster}:{frame.state.value}{flags}"
+                f"(tlb={sorted(frame.tlb_dir)})"
+            )
+        return " ".join(parts)
+
+    def _record(self, vpn: int, kind: str, detail: str) -> None:
+        if not self._want(vpn):
+            return
+        self.events.append(
+            TraceEvent(
+                time=self.rt.sim.now,
+                vpn=vpn,
+                kind=kind,
+                detail=detail,
+                snapshot=self._snapshot(vpn),
+            )
+        )
+
+    def _attach(self) -> None:
+        protocol = self.rt.protocol
+        local, remote, server = protocol.local, protocol.remote, protocol.server
+        tracer = self
+
+        def wrap(obj, name, describe):
+            original = getattr(obj, name)
+
+            def wrapper(*args, **kwargs):
+                info = describe(*args, **kwargs)
+                if info is not None:
+                    tracer._record(*info)
+                return original(*args, **kwargs)
+
+            setattr(obj, name, wrapper)
+
+        wrap(local, "fault", lambda pid, vpn, w, cb: (
+            vpn, "FAULT", f"proc {pid} {'write' if w else 'read'}"))
+        wrap(local, "on_data", lambda vpn, cl, pid, payload, w: (
+            vpn, "GRANT", f"{'WDAT' if w else 'RDAT'} -> cluster {cl}"))
+        wrap(local, "on_rack", lambda pid, cb: None)
+        wrap(remote, "on_upgrade", lambda vpn, cl, pid, cb: (
+            vpn, "UPGRADE", f"cluster {cl} proc {pid}"))
+        wrap(remote, "start_inval", lambda frame, kind: (
+            frame.vpn, "INVAL", f"cluster {frame.cluster} kind={kind}"))
+        wrap(remote, "on_pinv", lambda frame, pid: (
+            frame.vpn, "PINV", f"proc {pid}"))
+        wrap(server, "on_request", lambda vpn, cl, pid, w: (
+            vpn, "REQ", f"{'WREQ' if w else 'RREQ'} cluster {cl}"))
+        wrap(server, "on_rel", lambda vpn, cl, pid, cb: (
+            vpn, "REL", f"cluster {cl} proc {pid}"))
+        wrap(server, "on_inval_response", lambda vpn, cl, payload: (
+            vpn, "RESP", f"{payload[0]} from cluster {cl}"))
+        wrap(server, "on_wnotify", lambda vpn, cl: (
+            vpn, "WNOTIFY", f"cluster {cl}"))
+
+    # ------------------------------------------------------------------
+
+    def filter(self, kind: str | None = None, vpn: int | None = None):
+        """Events matching the given kind and/or page."""
+        out = self.events
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if vpn is not None:
+            out = [e for e in out if e.vpn == vpn]
+        return out
+
+    def render(self, limit: int | None = None) -> str:
+        events = self.events if limit is None else self.events[:limit]
+        lines = [str(e) for e in events]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,13 @@
+"""Test configuration: make ``repro`` importable straight from src/.
+
+The package is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` in offline environments without the ``wheel``
+package); this fallback lets the suite run from a clean checkout too.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,28 @@
+"""Tests for the command-line interface (fast paths only)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_table3_runs_and_prints(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+    assert "6982" in out  # inter-SSMP read miss matches the paper
+
+
+def test_unknown_experiment_fails(capsys):
+    assert main(["nonesuch"]) == 2
+
+
+def test_sweep_requires_known_app():
+    with pytest.raises(SystemExit):
+        main(["sweep", "not-an-app"])
+
+
+def test_sweep_runs_small_machine(capsys):
+    assert main(["sweep", "matmul", "--processors", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "breakup penalty" in out
+    assert "C= 4" in out

@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs to completion."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "counter value:  8" in out
+    assert "mgs" in out
+
+
+def test_protocol_trace(capsys):
+    run_example("protocol_trace.py")
+    out = capsys.readouterr().out
+    assert "Single-writer release" in out
+    assert "42 pushed home" in out
+    assert "one_writer_releases" in out
+
+
+def test_locality_report(capsys):
+    run_example("locality_report.py")
+    out = capsys.readouterr().out
+    assert "molecules" in out
+    assert "transfers/page" in out
+
+
+@pytest.mark.slow
+def test_cluster_size_study(capsys):
+    run_example("cluster_size_study.py", ["water"])
+    out = capsys.readouterr().out
+    assert "breakup penalty" in out
+
+
+@pytest.mark.slow
+def test_locality_transformation(capsys):
+    run_example("locality_transformation.py")
+    out = capsys.readouterr().out
+    assert "loop-transformed" in out

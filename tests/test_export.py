@@ -1,0 +1,55 @@
+"""Tests for sweep/result serialization."""
+
+import csv
+import io
+import json
+
+from repro.apps import matmul
+from repro.bench import run_sweep
+from repro.metrics.export import (
+    run_result_to_dict,
+    sweep_to_csv,
+    sweep_to_dict,
+    sweep_to_json,
+)
+from repro.params import MachineConfig
+
+
+def small_sweep():
+    return run_sweep(
+        matmul,
+        params=matmul.MatmulParams(n=8, compute_per_mac=10),
+        total_processors=4,
+    )
+
+
+def test_sweep_to_dict_round_trips_through_json():
+    sweep = small_sweep()
+    data = json.loads(sweep_to_json(sweep))
+    assert data["app"] == "matmul"
+    assert len(data["points"]) == 3
+    assert data["points"][0]["cluster_size"] == 1
+    assert all(p["total_time"] > 0 for p in data["points"])
+    assert "breakup_penalty" in data
+
+
+def test_sweep_to_csv_is_parseable():
+    sweep = small_sweep()
+    rows = list(csv.reader(io.StringIO(sweep_to_csv(sweep))))
+    assert rows[0][:3] == ["app", "cluster_size", "total_time"]
+    assert len(rows) == 4  # header + 3 cluster sizes
+    assert rows[1][0] == "matmul"
+    # breakdown columns roughly account for the total time
+    total = int(rows[1][2])
+    parts = sum(int(x) for x in rows[1][3:7])
+    assert abs(parts - total) / total < 0.05
+
+
+def test_run_result_to_dict():
+    config = MachineConfig(total_processors=4, cluster_size=2)
+    run = matmul.run(config, matmul.MatmulParams(n=8, compute_per_mac=10))
+    data = run_result_to_dict(run.result)
+    assert data["cluster_size"] == 2
+    assert data["total_time"] == run.total_time
+    assert set(data["breakdown"]) == {"user", "lock", "barrier", "mgs"}
+    json.dumps(data)  # must be JSON-serializable

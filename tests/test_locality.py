@@ -1,0 +1,53 @@
+"""Tests for the multigrain-locality reporting extension."""
+
+from repro.metrics.locality import locality_report, render_locality_report
+from repro.params import MachineConfig
+from repro.runtime import Runtime
+
+
+def run_two_segment_workload():
+    config = MachineConfig(total_processors=4, cluster_size=2,
+                           inter_ssmp_delay=500)
+    rt = Runtime(config)
+    wpp = config.words_per_page
+    hot = rt.array("hot", wpp, home=0)  # ping-pongs between clusters
+    cold = rt.array("cold", wpp, home=0)  # touched once, read-only
+    hot.init([0.0] * wpp)
+    cold.init([0.0] * wpp)
+    lock = rt.create_lock()
+
+    def worker(env):
+        yield from env.read(cold.addr(env.pid))
+        for _ in range(4):
+            yield from env.lock(lock)
+            v = yield from env.read(hot.addr(0))
+            yield from env.write(hot.addr(0), v + 1.0)
+            yield from env.unlock(lock)
+        yield from env.barrier()
+
+    rt.spawn_all(worker)
+    rt.run()
+    return rt
+
+
+def test_report_separates_hot_and_cold_segments():
+    rt = run_two_segment_workload()
+    report = {s.name: s for s in locality_report(rt)}
+    assert report["hot"].page_transfers > report["cold"].page_transfers
+    assert report["hot"].invalidations > 0
+    assert report["cold"].invalidations == 0
+    assert report["hot"].faults > report["cold"].faults
+
+
+def test_render_includes_all_segments():
+    rt = run_two_segment_workload()
+    text = render_locality_report(locality_report(rt))
+    assert "hot" in text and "cold" in text
+    assert "transfers/page" in text
+
+
+def test_transfers_per_page_metric():
+    rt = run_two_segment_workload()
+    hot = next(s for s in locality_report(rt) if s.name == "hot")
+    assert hot.transfers_per_page == hot.page_transfers / hot.pages
+    assert hot.pages == 1

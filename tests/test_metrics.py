@@ -1,0 +1,79 @@
+"""Unit tests for the DSSMP performance framework (section 2.4)."""
+
+import pytest
+
+from repro.metrics import (
+    ClusterSweep,
+    SweepPoint,
+    breakup_penalty,
+    cluster_sizes,
+    curvature,
+    multigrain_potential,
+)
+
+
+def make_sweep(times: dict[int, float], total=32) -> ClusterSweep:
+    points = [
+        SweepPoint(
+            cluster_size=c,
+            total_time=int(t),
+            breakdown={"user": t, "lock": 0, "barrier": 0, "mgs": 0},
+            lock_hit_ratio=1.0,
+        )
+        for c, t in sorted(times.items())
+    ]
+    return ClusterSweep(app="test", total_processors=total, points=points)
+
+
+def test_cluster_sizes_powers_of_two():
+    assert cluster_sizes(32) == [1, 2, 4, 8, 16, 32]
+    assert cluster_sizes(1) == [1]
+    with pytest.raises(ValueError):
+        cluster_sizes(24)
+
+
+def test_breakup_penalty_definition():
+    times = {32: 100.0, 16: 116.0}
+    assert breakup_penalty(times, 32) == pytest.approx(0.16)
+
+
+def test_multigrain_potential_definition():
+    # T(1)/T(P/2) - 1: the paper quotes values above 100%.
+    times = {1: 207.0, 16: 100.0}
+    assert multigrain_potential(times, 32) == pytest.approx(1.07)
+
+
+def test_concave_curve_classified():
+    """Curve A of Figure 2: times stay high until large cluster sizes."""
+    times = {1: 100.0, 2: 99.0, 4: 97.0, 8: 90.0, 16: 50.0, 32: 40.0}
+    assert curvature(times, 32) == "concave"
+
+
+def test_convex_curve_classified():
+    """Curve B of Figure 2: most of the potential at small clusters."""
+    times = {1: 100.0, 2: 60.0, 4: 53.0, 8: 51.0, 16: 50.0, 32: 40.0}
+    assert curvature(times, 32) == "convex"
+
+
+def test_linear_curve_classified():
+    times = {1: 100.0, 2: 87.5, 4: 75.0, 8: 62.5, 16: 50.0, 32: 40.0}
+    assert curvature(times, 32) == "linear"
+
+
+def test_sweep_properties():
+    sweep = make_sweep({1: 300.0, 2: 260.0, 4: 230.0, 8: 210.0, 16: 200.0, 32: 100.0})
+    assert sweep.breakup_penalty == pytest.approx(1.0)
+    assert sweep.multigrain_potential == pytest.approx(0.5)
+    assert sweep.point(4).total_time == 230
+    with pytest.raises(KeyError):
+        sweep.point(3)
+    norm = sweep.normalized_times()
+    assert norm[32] == 1.0
+    assert norm[1] == pytest.approx(3.0)
+
+
+def test_flat_curve_has_zero_metrics():
+    sweep = make_sweep({c: 100.0 for c in [1, 2, 4, 8, 16, 32]})
+    assert sweep.breakup_penalty == 0.0
+    assert sweep.multigrain_potential == 0.0
+    assert sweep.curvature == "linear"

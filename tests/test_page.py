@@ -1,0 +1,109 @@
+"""Unit and property tests for page frames, twins, diffs, and merges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.page import (
+    FrameState,
+    HomePage,
+    PageFrame,
+    apply_diff,
+    dirty_lines,
+    make_diff,
+)
+
+
+def test_make_diff_finds_changed_words():
+    twin = np.zeros(16)
+    data = twin.copy()
+    data[3] = 7.0
+    data[10] = -1.5
+    indices, values = make_diff(data, twin)
+    assert list(indices) == [3, 10]
+    assert list(values) == [7.0, -1.5]
+
+
+def test_make_diff_empty_when_clean():
+    twin = np.arange(16, dtype=np.float64)
+    indices, values = make_diff(twin.copy(), twin)
+    assert len(indices) == 0
+    assert len(values) == 0
+
+
+def test_apply_diff_merges_into_home():
+    home = np.zeros(16)
+    apply_diff(home, np.array([1, 5]), np.array([2.0, 9.0]))
+    assert home[1] == 2.0
+    assert home[5] == 9.0
+    assert home.sum() == 11.0
+
+
+def test_dirty_lines_counts_distinct_lines():
+    # Two words per line.
+    assert dirty_lines(np.array([0, 1]), 2) == 1
+    assert dirty_lines(np.array([0, 2]), 2) == 2
+    assert dirty_lines(np.array([], dtype=int), 2) == 0
+    assert dirty_lines(np.array([0, 1, 2, 3, 15]), 2) == 3
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    writes_a=st.dictionaries(st.integers(0, 127), st.floats(allow_nan=False, width=32)),
+    writes_b=st.dictionaries(st.integers(0, 127), st.floats(allow_nan=False, width=32)),
+)
+def test_diff_merge_roundtrip_two_writers(writes_a, writes_b):
+    """The Munin multiple-writer property: merging two writers' diffs
+    yields every written value; non-conflicting words keep the original
+    data; conflicting words end with one of the written values."""
+    original = np.arange(128, dtype=np.float64) * 3.0
+    home = original.copy()
+    copy_a, twin_a = home.copy(), home.copy()
+    copy_b, twin_b = home.copy(), home.copy()
+    for idx, v in writes_a.items():
+        copy_a[idx] = v
+    for idx, v in writes_b.items():
+        copy_b[idx] = v
+    apply_diff(home, *make_diff(copy_a, twin_a))
+    apply_diff(home, *make_diff(copy_b, twin_b))
+    for i in range(128):
+        in_a = i in writes_a and writes_a[i] != original[i]
+        in_b = i in writes_b and writes_b[i] != original[i]
+        if in_b:
+            assert home[i] == copy_b[i]  # later merge wins conflicts
+        elif in_a:
+            assert home[i] == copy_a[i]
+        else:
+            assert home[i] == original[i]
+
+
+@settings(max_examples=100, deadline=None)
+@given(indices=st.lists(st.integers(0, 127), unique=True))
+def test_diff_is_exact_inverse(indices):
+    """diff(data, twin) applied onto a copy of twin reproduces data."""
+    twin = np.zeros(128)
+    data = twin.copy()
+    for i in indices:
+        data[i] = float(i + 1)
+    reconstructed = twin.copy()
+    apply_diff(reconstructed, *make_diff(data, twin))
+    assert np.array_equal(reconstructed, data)
+
+
+def test_frame_mapped_property():
+    frame = PageFrame(vpn=1, cluster=0, owner_pid=0)
+    assert not frame.mapped
+    frame.state = FrameState.BUSY
+    assert not frame.mapped
+    frame.state = FrameState.READ
+    assert frame.mapped
+    frame.state = FrameState.WRITE
+    assert frame.mapped
+
+
+def test_home_page_copies_union():
+    home = HomePage(vpn=1, home_pid=0, data=np.zeros(4))
+    home.read_dir = {1, 2}
+    home.write_dir = {2, 3}
+    assert home.copies == {1, 2, 3}

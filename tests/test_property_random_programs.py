@@ -1,0 +1,94 @@
+"""Property-based end-to-end test: randomized shared-memory programs.
+
+Hypothesis generates little programs — a mix of lock-protected
+read-modify-writes, unlocked reads, compute bursts, and barriers — and
+runs them on randomized machine shapes.  Whatever the interleaving, the
+protocol must preserve every lock-protected update and the final barrier
+must make the home copies authoritative.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.params import MachineConfig, ProtocolOptions
+from repro.runtime import Runtime
+
+
+@st.composite
+def machine_shapes(draw):
+    log_p = draw(st.integers(1, 3))
+    total = 2 ** log_p
+    cluster = 2 ** draw(st.integers(0, log_p))
+    delay = draw(st.sampled_from([0, 300, 1500]))
+    sw_opt = draw(st.booleans())
+    return MachineConfig(
+        total_processors=total,
+        cluster_size=cluster,
+        inter_ssmp_delay=delay,
+        options=ProtocolOptions(single_writer_opt=sw_opt),
+    )
+
+
+@st.composite
+def programs(draw):
+    """Per-worker op scripts over a small set of counters."""
+    n_counters = draw(st.integers(1, 4))
+    script = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["incr", "read", "compute", "barrier"]),
+                st.integers(0, n_counters - 1),
+                st.integers(1, 900),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return n_counters, script
+
+
+@settings(max_examples=25, deadline=None)
+@given(shape=machine_shapes(), program=programs())
+def test_random_programs_never_lose_updates(shape, program):
+    n_counters, script = program
+    rt = Runtime(shape)
+    wpp = shape.words_per_page
+    # Counters on separate pages with varied homes.
+    arr = rt.array(
+        "counters", n_counters * wpp,
+        home=lambda pg: (pg * 5) % shape.total_processors,
+    )
+    arr.init([0.0] * (n_counters * wpp))
+    locks = [
+        rt.create_lock(home_cluster=k % shape.num_clusters)
+        for k in range(n_counters)
+    ]
+    increments = [0] * n_counters
+    for op, counter, _arg in script:
+        if op == "incr":
+            increments[counter] += shape.total_processors
+
+    def worker(env):
+        for op, counter, arg in script:
+            if op == "incr":
+                yield from env.lock(locks[counter])
+                v = yield from env.read(arr.addr(counter * wpp))
+                yield from env.write(arr.addr(counter * wpp), v + 1.0)
+                yield from env.unlock(locks[counter])
+            elif op == "read":
+                yield from env.read(arr.addr(counter * wpp + 1 + env.pid % 9))
+            elif op == "compute":
+                yield from env.compute(arg + env.pid * 13)
+            else:
+                yield from env.barrier()
+        yield from env.barrier()
+
+    rt.spawn_all(worker)
+    rt.run(max_events=20_000_000)
+    rt.protocol.check_invariants()
+    snapshot = arr.snapshot()
+    for counter in range(n_counters):
+        assert snapshot[counter * wpp] == increments[counter], (
+            f"counter {counter}: got {snapshot[counter * wpp]}, "
+            f"expected {increments[counter]} (shape={shape})"
+        )

@@ -1,0 +1,95 @@
+"""Protocol-level fuzzing: random fault/release storms must always
+quiesce with consistent state.
+
+Unlike the application-level property tests (which check data), this
+fuzzer drives the protocol API directly with arbitrary timings and then
+checks structural invariants at quiescence — the protocol equivalent of
+a model checker's safety sweep over random schedules.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.page import FrameState, ServerState
+from repro.params import MachineConfig, ProtocolOptions
+from repro.runtime import Runtime
+
+
+@st.composite
+def storms(draw):
+    nclusters = draw(st.sampled_from([2, 3, 4]))
+    cluster_size = draw(st.sampled_from([1, 2]))
+    total = nclusters * cluster_size
+    delay = draw(st.sampled_from([0, 700, 2500]))
+    sw_opt = draw(st.booleans())
+    npages = draw(st.integers(1, 3))
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, total - 1),  # pid
+                st.integers(0, npages - 1),  # page
+                st.sampled_from(["read", "write", "release"]),
+                st.integers(0, 30_000),  # start time
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    return total, cluster_size, delay, sw_opt, npages, ops
+
+
+@settings(max_examples=120, deadline=None)
+@given(storm=storms())
+def test_random_storms_quiesce_consistently(storm):
+    total, cluster_size, delay, sw_opt, npages, ops = storm
+    config = MachineConfig(
+        total_processors=total,
+        cluster_size=cluster_size,
+        inter_ssmp_delay=delay,
+        options=ProtocolOptions(single_writer_opt=sw_opt),
+    )
+    rt = Runtime(config)
+    arr = rt.array("fuzz", npages * config.words_per_page, home=0)
+    arr.init([0.0] * (npages * config.words_per_page))
+    base_vpn = arr.base // config.page_size
+
+    completed = []
+    expected = 0
+    busy: set[int] = set()  # pids with an operation outstanding
+
+    for pid, page, op, start in ops:
+        if pid in busy:
+            continue  # one outstanding blocking op per processor
+        busy.add(pid)
+        expected += 1
+        if op == "release":
+            rt.sim.schedule_at(
+                start, rt.protocol.release, pid,
+                lambda pid=pid: (completed.append(pid), busy.discard(pid)),
+            )
+        else:
+            rt.sim.schedule_at(
+                start, rt.protocol.fault, pid, base_vpn + page, op == "write",
+                lambda pid=pid: (completed.append(pid), busy.discard(pid)),
+            )
+
+    rt.sim.run(max_events=2_000_000)
+
+    # Liveness: every operation completed.
+    assert len(completed) == expected, (
+        f"{expected - len(completed)} operations never completed"
+    )
+    # Quiescence: no round left hanging, no lock left held.
+    for vpn, home in rt.protocol.homes.items():
+        assert home.state is not ServerState.REL_IN_PROG
+        assert home.count == 0 and not home.rl and not home.rd and not home.wr
+        for cluster in home.write_dir:
+            frame = rt.protocol.frame(cluster, vpn)
+            assert frame is not None
+            assert frame.state in (FrameState.WRITE, FrameState.BUSY)
+    for frames in rt.protocol.frames:
+        for frame in frames.values():
+            assert not frame.lock_held, "mapping lock leaked"
+            assert not frame.waiters and not frame.queued_invals
+            assert frame.inval_kind is None
+    rt.protocol.check_invariants()

@@ -1,0 +1,119 @@
+"""Additional protocol behaviours: multi-page releases, page-size
+variations, and DUQ draining order."""
+
+import pytest
+
+from repro.core.page import FrameState
+from repro.params import MachineConfig
+from repro.runtime import Runtime
+
+
+def make_rt(page_size=1024, delay=500):
+    config = MachineConfig(
+        total_processors=4, cluster_size=2,
+        inter_ssmp_delay=delay, page_size=page_size,
+    )
+    rt = Runtime(config)
+    arr = rt.array("data", 4 * config.words_per_page, home=0)
+    arr.init([0.0] * (4 * config.words_per_page))
+    return rt, arr
+
+
+def test_release_drains_duq_serially_in_fifo_order():
+    rt, arr = make_rt()
+    wpp = rt.config.words_per_page
+    order = []
+    # Proc 2 (cluster 1) dirties three pages in a known order.
+    for page in (2, 0, 1):
+        done = []
+        rt.protocol.fault(2, arr.base // rt.config.page_size + page, True,
+                          lambda: done.append(1))
+        rt.sim.run(max_events=100_000)
+        assert done
+
+    from repro.core import server as srv
+    original = srv.Server.on_rel
+
+    def spy(self, vpn, cluster, pid, cb):
+        order.append(vpn - arr.base // rt.config.page_size)
+        return original(self, vpn, cluster, pid, cb)
+
+    try:
+        srv.Server.on_rel = spy
+        done = []
+        rt.protocol.release(2, lambda: done.append(1))
+        rt.sim.run(max_events=200_000)
+        assert done
+    finally:
+        srv.Server.on_rel = original
+    assert order == [2, 0, 1]  # FIFO: the order the pages were dirtied
+
+
+@pytest.mark.parametrize("page_size", [512, 2048, 4096])
+def test_protocol_correct_across_page_sizes(page_size):
+    rt, arr = make_rt(page_size=page_size)
+    lock = rt.create_lock()
+
+    def worker(env):
+        for i in range(8):
+            yield from env.lock(lock)
+            a = arr.addr(i * rt.config.words_per_page // 8)
+            v = yield from env.read(a)
+            yield from env.write(a, v + 1.0)
+            yield from env.unlock(lock)
+        yield from env.barrier()
+
+    rt.spawn_all(worker)
+    rt.run(max_events=20_000_000)
+    snap = arr.snapshot()
+    for i in range(8):
+        assert snap[i * rt.config.words_per_page // 8] == 4.0
+    rt.protocol.check_invariants()
+
+
+def test_larger_pages_move_more_data_per_fault():
+    def transfers_bytes(page_size):
+        rt, arr = make_rt(page_size=page_size)
+        done = []
+        rt.protocol.fault(2, arr.base // page_size, False, lambda: done.append(1))
+        rt.sim.run(max_events=100_000)
+        return rt.machine.stats.inter_ssmp_bytes
+
+    assert transfers_bytes(4096) > transfers_bytes(512)
+
+
+def test_fault_latency_grows_with_page_size():
+    def latency(page_size):
+        rt, arr = make_rt(page_size=page_size)
+        done = []
+        rt.protocol.fault(2, arr.base // page_size, False,
+                          lambda: done.append(rt.sim.now))
+        rt.sim.run(max_events=100_000)
+        return done[0]
+
+    # Bigger pages: more cleaning + more DMA.
+    assert latency(4096) > latency(1024) > latency(512)
+
+
+def test_refetch_after_invalidation_uses_fresh_placement():
+    """Pages are re-placed first-touch on refetch within an SSMP."""
+    rt, arr = make_rt()
+    vpn = arr.base // rt.config.page_size
+
+    def drive(pid, write):
+        done = []
+        rt.protocol.fault(pid, vpn, write, lambda: done.append(1))
+        rt.sim.run(max_events=100_000)
+        assert done
+
+    drive(2, False)
+    assert rt.protocol.frame(1, vpn).owner_pid == 2
+    # Invalidate via a remote write + release.
+    drive(0, True)
+    done = []
+    rt.protocol.release(0, lambda: done.append(1))
+    rt.sim.run(max_events=100_000)
+    assert rt.protocol.frame(1, vpn).state is FrameState.INVALID
+    # Proc 3 touches first this time: it becomes the owner.
+    drive(3, False)
+    assert rt.protocol.frame(1, vpn).owner_pid == 3

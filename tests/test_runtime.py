@@ -1,0 +1,160 @@
+"""Tests for the runtime: Env semantics, driver, accounting, errors."""
+
+import pytest
+
+from repro import MachineConfig, Runtime
+from repro.svm import AccessKind
+
+
+def test_spawn_more_threads_than_processors_rejected():
+    rt = Runtime(MachineConfig(total_processors=2, cluster_size=1))
+
+    def worker(env):
+        yield from env.compute(1)
+
+    rt.spawn(worker)
+    rt.spawn(worker)
+    with pytest.raises(RuntimeError):
+        rt.spawn(worker)
+
+
+def test_run_without_threads_rejected():
+    rt = Runtime(MachineConfig(total_processors=2, cluster_size=1))
+    with pytest.raises(RuntimeError):
+        rt.run()
+
+
+def test_deadlock_detected_as_unfinished_threads():
+    rt = Runtime(MachineConfig(total_processors=2, cluster_size=2))
+    lock = rt.create_lock()
+
+    def worker(env):
+        yield from env.lock(lock)  # nobody ever unlocks: second blocks
+        yield from env.barrier()  # first waits forever at the barrier? no:
+        # thread 0 holds the lock and reaches the barrier; thread 1 waits
+        # on the lock forever -> barrier never completes.
+
+    rt.spawn_all(worker)
+    with pytest.raises(RuntimeError, match="never finished"):
+        rt.run(max_events=100_000)
+
+
+def test_translation_costs_differ_by_kind():
+    config = MachineConfig(total_processors=1, cluster_size=1)
+
+    def run_with(ptr):
+        rt = Runtime(config)
+        arr = rt.array("a", 8, kind=AccessKind.POINTER if ptr else AccessKind.ARRAY)
+        arr.init([0.0] * 8)
+
+        def worker(env):
+            for _ in range(100):
+                yield from env.read(arr.addr(0), ptr=ptr)
+
+        rt.spawn(worker)
+        return rt.run().total_time
+
+    # 100 reads x (24 - 18) extra cycles for pointer translation.
+    assert run_with(True) - run_with(False) == 600
+
+
+def test_compute_advances_user_time_exactly():
+    rt = Runtime(MachineConfig(total_processors=1, cluster_size=1))
+
+    def worker(env):
+        yield from env.compute(12345)
+
+    t = rt.spawn(worker)
+    rt.run()
+    assert t.user == 12345
+    assert t.finish_time == 12345
+
+
+def test_hardware_only_mode_has_no_protocol_traffic():
+    rt = Runtime(MachineConfig(total_processors=4, cluster_size=4))
+    arr = rt.array("a", 64)
+    arr.init([1.0] * 64)
+
+    def worker(env):
+        total = 0.0
+        for i in range(64):
+            total += yield from env.read(arr.addr(i))
+        yield from env.write(arr.addr(env.pid), total)
+        yield from env.barrier()
+
+    rt.spawn_all(worker)
+    result = rt.run()
+    assert result.protocol_stats.get("read_requests", 0) == 0
+    assert result.protocol_stats.get("release_rounds", 0) == 0
+    assert result.messages_inter_ssmp == 0
+
+
+def test_env_now_tracks_local_clock():
+    rt = Runtime(MachineConfig(total_processors=1, cluster_size=1))
+    seen = []
+
+    def worker(env):
+        seen.append(env.now)
+        yield from env.compute(500)
+        seen.append(env.now)
+
+    rt.spawn(worker)
+    rt.run()
+    assert seen == [0, 500]
+
+
+def test_breakdown_buckets_cover_total_time():
+    config = MachineConfig(total_processors=4, cluster_size=2, inter_ssmp_delay=500)
+    rt = Runtime(config)
+    arr = rt.array("a", 128, home=0)
+    arr.init([0.0] * 128)
+    lock = rt.create_lock()
+
+    def worker(env):
+        for i in range(16):
+            yield from env.lock(lock)
+            v = yield from env.read(arr.addr(i))
+            yield from env.write(arr.addr(i), v + 1)
+            yield from env.unlock(lock)
+        yield from env.barrier()
+
+    rt.spawn_all(worker)
+    result = rt.run()
+    bd = result.breakdown()
+    assert sum(bd.values()) == pytest.approx(result.total_time, rel=0.01)
+    assert bd["mgs"] > 0 and bd["lock"] > 0
+
+
+def test_shared_array_bounds_and_roundtrip():
+    rt = Runtime(MachineConfig(total_processors=2, cluster_size=1))
+    arr = rt.array("a", 10)
+    with pytest.raises(IndexError):
+        arr.addr(10)
+    with pytest.raises(IndexError):
+        arr.addr(-1)
+    with pytest.raises(ValueError):
+        arr.init([1.0] * 9)
+    arr.init(range(10))
+    assert list(arr.snapshot()) == list(map(float, range(10)))
+    assert len(arr) == 10
+
+
+def test_quantum_pauses_do_not_change_results():
+    """The quantum is a performance knob: identical results regardless."""
+    def build_and_run(quantum):
+        rt = Runtime(
+            MachineConfig(total_processors=4, cluster_size=2), quantum=quantum
+        )
+        arr = rt.array("a", 64, home=0)
+        arr.init([0.0] * 64)
+
+        def worker(env):
+            for i in range(16):
+                yield from env.write(arr.addr(env.pid * 16 + i), float(env.pid))
+            yield from env.barrier()
+
+        rt.spawn_all(worker)
+        rt.run()
+        return list(arr.snapshot())
+
+    assert build_and_run(100) == build_and_run(100000)

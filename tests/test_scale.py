@@ -1,0 +1,30 @@
+"""The REPRO_SCALE knob grows workloads toward the paper's sizes."""
+
+from repro.bench import bench_params, scale_factor
+
+
+def test_default_scale_is_one(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    assert scale_factor() == 1
+
+
+def test_invalid_scale_falls_back(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "banana")
+    assert scale_factor() == 1
+    monkeypatch.setenv("REPRO_SCALE", "-3")
+    assert scale_factor() == 1
+
+
+def test_scale_grows_every_workload(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "2")
+    assert bench_params("jacobi").n == 128
+    assert bench_params("matmul").n == 64
+    assert bench_params("water").n_molecules == 134
+    assert bench_params("barnes-hut").n_bodies == 192
+    assert bench_params("water-kernel").n_molecules == 512  # the paper's size
+    assert bench_params("tsp").ncities == 10  # the paper's size
+
+
+def test_explicit_scale_argument_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "4")
+    assert bench_params("jacobi", scale=1).n == 64

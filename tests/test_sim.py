@@ -1,0 +1,92 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, order.append, "c")
+    sim.schedule(10, order.append, "a")
+    sim.schedule(20, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_simultaneous_events_fifo_by_schedule_order():
+    sim = Simulator()
+    order = []
+    for name in "abcde":
+        sim.schedule(5, order.append, name)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_schedule_from_within_event():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(sim.now)
+        sim.schedule(7, second)
+
+    def second():
+        seen.append(sim.now)
+
+    sim.schedule(3, first)
+    sim.run()
+    assert seen == [3, 10]
+
+
+def test_cannot_schedule_into_past():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(5, lambda: None)
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, 1)
+    sim.schedule(100, fired.append, 2)
+    sim.run(until=50)
+    assert fired == [1]
+    assert sim.now == 50
+    assert sim.pending == 1
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(1, loop)
+
+    sim.schedule(0, loop)
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=100)
+
+
+def test_step_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(4, fired.append, "x")
+    assert sim.step() is True
+    assert fired == ["x"]
+    assert sim.step() is False
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(i, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5

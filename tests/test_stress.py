@@ -1,0 +1,107 @@
+"""Randomized stress tests: lock-protected counters must never lose an
+update, whatever the cluster geometry or sharing pattern.
+
+These patterns re-create the bug class found during development: the
+single-writer optimization interacting with upgrades and with the home
+cluster's aliased writes (see DESIGN.md section 3)."""
+
+import pytest
+
+from repro.params import MachineConfig, ProtocolOptions
+from repro.runtime import Runtime
+
+
+def run_counter_stress(
+    cluster_size,
+    total=8,
+    npages=3,
+    iters=4,
+    delay=1000,
+    single_writer_opt=True,
+    read_mix=True,
+):
+    """Each worker increments a counter word on every page under a lock,
+    optionally mixing in unlocked reads (the Water pattern)."""
+    config = MachineConfig(
+        total_processors=total,
+        cluster_size=cluster_size,
+        inter_ssmp_delay=delay,
+        options=ProtocolOptions(single_writer_opt=single_writer_opt),
+    )
+    rt = Runtime(config)
+    wpp = config.words_per_page
+    arr = rt.array("acc", npages * wpp, home=lambda pg: (pg * 3) % total)
+    arr.init([0.0] * (npages * wpp))
+    locks = [rt.create_lock(home_cluster=k % config.num_clusters) for k in range(npages)]
+
+    def worker(env):
+        for it in range(iters):
+            if read_mix:
+                for pg in range(npages):
+                    yield from env.read(arr.addr(pg * wpp + 5 + env.pid % 7))
+            yield from env.compute((env.pid * 53 + it * 17) % 400 + 10)
+            for pg in range(npages):
+                order = (pg + env.pid) % npages  # vary lock ordering
+                yield from env.lock(locks[order])
+                a = arr.addr(order * wpp)
+                v = yield from env.read(a)
+                yield from env.write(a, v + 1.0)
+                yield from env.unlock(locks[order])
+        yield from env.barrier()
+
+    rt.spawn_all(worker)
+    rt.run(max_events=50_000_000)
+    rt.protocol.check_invariants()
+    snap = arr.snapshot()
+    expected = total * iters
+    return [snap[pg * wpp] for pg in range(npages)], expected
+
+
+@pytest.mark.parametrize("cluster_size", [1, 2, 4, 8])
+def test_no_lost_updates(cluster_size):
+    values, expected = run_counter_stress(cluster_size)
+    assert values == [expected] * len(values)
+
+
+@pytest.mark.parametrize("cluster_size", [1, 2, 4])
+def test_no_lost_updates_without_single_writer_opt(cluster_size):
+    values, expected = run_counter_stress(cluster_size, single_writer_opt=False)
+    assert values == [expected] * len(values)
+
+
+@pytest.mark.parametrize("delay", [0, 100, 5000])
+def test_no_lost_updates_across_latencies(delay):
+    values, expected = run_counter_stress(2, delay=delay)
+    assert values == [expected] * len(values)
+
+
+def test_counter_on_home_cluster_page():
+    """The aliased home-cluster frame writes straight into the home copy;
+    combined with single-writer retention in another cluster this used to
+    lose updates (the Water bug)."""
+    values, expected = run_counter_stress(4, total=8, npages=2, iters=8)
+    assert values == [expected] * len(values)
+
+
+def test_upgrade_heavy_pattern():
+    """Read first, then upgrade-write under a lock: exercises the
+    UPGRADE/WNOTIFY race against single-writer release rounds."""
+    config = MachineConfig(total_processors=8, cluster_size=2, inter_ssmp_delay=800)
+    rt = Runtime(config)
+    arr = rt.array("acc", 16, home=0)
+    arr.init([0.0] * 16)
+    lock = rt.create_lock()
+
+    def worker(env):
+        for it in range(6):
+            # Unlocked read establishes a read mapping first.
+            yield from env.read(arr.addr(3))
+            yield from env.lock(lock)
+            v = yield from env.read(arr.addr(0))
+            yield from env.write(arr.addr(0), v + 1.0)
+            yield from env.unlock(lock)
+        yield from env.barrier()
+
+    rt.spawn_all(worker)
+    rt.run(max_events=50_000_000)
+    assert arr.snapshot()[0] == 48.0

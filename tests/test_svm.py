@@ -1,0 +1,104 @@
+"""Unit tests for the software virtual memory layer."""
+
+import pytest
+
+from repro.params import MachineConfig
+from repro.svm import TLB, AccessKind, AddressSpace, MapMode
+
+
+@pytest.fixture
+def aspace():
+    return AddressSpace(MachineConfig(total_processors=8, cluster_size=2))
+
+
+def test_alloc_is_page_aligned(aspace):
+    seg = aspace.alloc("a", 100)
+    assert seg.base % 1024 == 0
+    assert seg.size == 1024  # rounded up to a page
+    seg2 = aspace.alloc("b", 1025)
+    assert seg2.size == 2048
+    assert seg2.base == seg.end
+
+
+def test_default_home_interleaves_round_robin(aspace):
+    seg = aspace.alloc("big", 16 * 1024)  # 16 pages
+    first_vpn = seg.base // 1024
+    homes = [aspace.home_proc(first_vpn + i) for i in range(16)]
+    # Round-robin by vpn over 8 processors: two full cycles.
+    assert homes == [(first_vpn + i) % 8 for i in range(16)]
+
+
+def test_explicit_home_pinning(aspace):
+    seg = aspace.alloc("pinned", 4 * 1024, home=3)
+    first_vpn = seg.base // 1024
+    assert all(aspace.home_proc(first_vpn + i) == 3 for i in range(4))
+
+
+def test_callable_home_map(aspace):
+    seg = aspace.alloc("blocked", 8 * 1024, home=lambda pg: pg % 4)
+    first_vpn = seg.base // 1024
+    assert [aspace.home_proc(first_vpn + i) for i in range(8)] == [
+        0, 1, 2, 3, 0, 1, 2, 3,
+    ]
+
+
+def test_home_cluster_derived_from_processor(aspace):
+    seg = aspace.alloc("x", 1024, home=5)
+    vpn = seg.base // 1024
+    assert aspace.home_cluster(vpn) == 2  # proc 5 lives in cluster 2 (C=2)
+
+
+def test_invalid_home_rejected(aspace):
+    with pytest.raises(ValueError):
+        aspace.alloc("bad", 1024, home=99)
+
+
+def test_unallocated_page_raises(aspace):
+    with pytest.raises(KeyError):
+        aspace.home_proc(12345678)
+
+
+def test_address_helpers(aspace):
+    seg = aspace.alloc("arr", 2048, kind=AccessKind.POINTER)
+    addr = seg.address_of_word(130)  # second page, word 2
+    assert aspace.vpn_of(addr) == seg.base // 1024 + 1
+    assert aspace.word_of(addr) == 2
+    assert aspace.is_shared(addr)
+    assert not aspace.is_shared(0x10)
+    with pytest.raises(IndexError):
+        seg.address_of_word(256)
+
+
+def test_zero_size_alloc_rejected(aspace):
+    with pytest.raises(ValueError):
+        aspace.alloc("nil", 0)
+
+
+class TestTLB:
+    def test_fill_lookup_invalidate(self):
+        tlb = TLB(0)
+        assert tlb.lookup(7) is None
+        tlb.fill(7, MapMode.READ)
+        assert tlb.lookup(7) is MapMode.READ
+        assert not tlb.has_write(7)
+        tlb.fill(7, MapMode.WRITE)
+        assert tlb.has_write(7)
+        assert tlb.invalidate(7)
+        assert tlb.lookup(7) is None
+        assert not tlb.invalidate(7)
+
+    def test_fill_never_downgrades(self):
+        tlb = TLB(0)
+        tlb.fill(3, MapMode.WRITE)
+        tlb.fill(3, MapMode.READ)
+        assert tlb.has_write(3)
+
+    def test_counters(self):
+        tlb = TLB(0)
+        tlb.fill(1, MapMode.READ)
+        tlb.fill(2, MapMode.READ)
+        tlb.invalidate(1)
+        assert tlb.fills == 2
+        assert tlb.invalidations == 1
+        assert len(tlb) == 1
+        assert 2 in tlb

@@ -1,0 +1,257 @@
+"""Arc-by-arc conformance with Table 1 of the paper.
+
+Each test drives exactly one transition arc of the MGS protocol state
+diagram (Figure 4) and asserts the table's preconditions, side effects,
+and outgoing messages.  Together with ``tests/test_protocol.py`` (flow
+scenarios) and ``tests/test_protocol_races.py`` (race resolutions), this
+pins the implementation to the paper's specification.
+"""
+
+import pytest
+
+from repro.core.page import FrameState, ServerState
+from repro.params import MachineConfig
+from repro.runtime import Runtime
+from repro.svm import MapMode
+
+
+@pytest.fixture
+def rig():
+    """Three 2-processor SSMPs; one page homed on processor 0."""
+    config = MachineConfig(total_processors=6, cluster_size=2, inter_ssmp_delay=0)
+    rt = Runtime(config)
+    arr = rt.array("page", config.words_per_page, home=0)
+    vpn = arr.base // config.page_size
+    return rt, vpn
+
+
+def drive_fault(rt, pid, vpn, write):
+    done = []
+    rt.protocol.fault(pid, vpn, write, lambda: done.append(rt.sim.now))
+    rt.sim.run(max_events=100_000)
+    assert done
+    return done[0]
+
+
+def drive_release(rt, pid):
+    done = []
+    rt.protocol.release(pid, lambda: done.append(rt.sim.now))
+    rt.sim.run(max_events=100_000)
+    assert done
+
+
+def msg_count(rt, label):
+    return rt.machine.stats.by_label[label]
+
+
+class TestLocalClientArcs:
+    def test_arc1_read_fault_on_resident_page(self, rig):
+        """RTLBFault, pagestate != INV: mapping -> TLB, tlb_dir += {src}."""
+        rt, vpn = rig
+        drive_fault(rt, 2, vpn, False)  # establishes the frame
+        rreqs = msg_count(rt, "RREQ")
+        drive_fault(rt, 3, vpn, False)  # arc 1: local fill
+        assert msg_count(rt, "RREQ") == rreqs  # no new request
+        assert rt.protocol.tlbs[3].lookup(vpn) is MapMode.READ
+        assert 3 in rt.protocol.frame(1, vpn).tlb_dir
+
+    def test_arc2_write_fault_on_read_page_sends_upgrade(self, rig):
+        """WTLBFault, pagestate == READ: UPGRADE => l_home."""
+        rt, vpn = rig
+        drive_fault(rt, 2, vpn, False)
+        drive_fault(rt, 2, vpn, True)  # arc 2 -> arc 13 -> arc 7
+        assert msg_count(rt, "UPGRADE") == 1
+        assert msg_count(rt, "UP_ACK") == 1
+        assert msg_count(rt, "WNOTIFY") == 1
+        assert rt.protocol.tlbs[2].has_write(vpn)
+
+    def test_arc3_write_fault_on_write_page_fills_locally(self, rig):
+        """WTLBFault, pagestate == WRITE: TLB fill + DUQ append, no msgs."""
+        rt, vpn = rig
+        drive_fault(rt, 2, vpn, True)
+        wreqs, upgrades = msg_count(rt, "WREQ"), msg_count(rt, "UPGRADE")
+        drive_fault(rt, 3, vpn, True)  # arc 3
+        assert msg_count(rt, "WREQ") == wreqs
+        assert msg_count(rt, "UPGRADE") == upgrades
+        assert vpn in rt.protocol.duqs[3]
+
+    def test_arc5_fault_on_invalid_page_sends_request(self, rig):
+        """R/WTLBFault, pagestate == INV: RREQ/WREQ => g_home, BUSY."""
+        rt, vpn = rig
+        drive_fault(rt, 2, vpn, False)
+        assert msg_count(rt, "RREQ") == 1
+        drive_fault(rt, 4, vpn, True)
+        assert msg_count(rt, "WREQ") == 1
+
+    def test_arc6_rdat_maps_page_read(self, rig):
+        """RDAT: map page, tlb_dir = {src}, pagestate = READ."""
+        rt, vpn = rig
+        drive_fault(rt, 2, vpn, False)
+        frame = rt.protocol.frame(1, vpn)
+        assert frame.state is FrameState.READ
+        assert frame.tlb_dir == {2}
+        assert frame.twin is None  # read grants are not twinned
+
+    def test_arc7_wdat_maps_page_write_with_twin_and_duq(self, rig):
+        """WDAT: map page, pagestate = WRITE, DUQ += {addr}."""
+        rt, vpn = rig
+        drive_fault(rt, 2, vpn, True)
+        frame = rt.protocol.frame(1, vpn)
+        assert frame.state is FrameState.WRITE
+        assert frame.twin is not None
+        assert vpn in rt.protocol.duqs[2]
+
+    def test_arcs8_to_10_release_walks_duq_serially(self, rig):
+        """Release: one REL per DUQ page, continuing on each RACK."""
+        rt, vpn = rig
+        config = rt.config
+        arr2 = rt.array("page2", config.words_per_page, home=1)
+        vpn2 = arr2.base // config.page_size
+        drive_fault(rt, 2, vpn, True)
+        drive_fault(rt, 2, vpn2, True)
+        assert len(rt.protocol.duqs[2]) == 2
+        drive_release(rt, 2)
+        assert msg_count(rt, "REL") == 2
+        assert msg_count(rt, "RACK") == 2
+        assert not rt.protocol.duqs[2]
+
+
+class TestRemoteClientArcs:
+    def test_arcs11_12_pinv_invalidates_tlb_and_duq(self, rig):
+        """PINV: invalidate TLB (and DUQ entry), reply PINV_ACK."""
+        rt, vpn = rig
+        drive_fault(rt, 2, vpn, True)
+        drive_fault(rt, 3, vpn, True)
+        drive_fault(rt, 4, vpn, True)  # second writer cluster
+        rt.protocol.frame(2, vpn).data[0] = 1.0
+        drive_release(rt, 4)  # round invalidates cluster 1's mappings
+        assert rt.protocol.tlbs[2].lookup(vpn) is None
+        assert rt.protocol.tlbs[3].lookup(vpn) is None
+        assert vpn not in rt.protocol.duqs[2]
+        assert vpn not in rt.protocol.duqs[3]
+        assert msg_count(rt, "PINV") == msg_count(rt, "PINV_ACK")
+
+    def test_arc13_upgrade_twins_and_notifies(self, rig):
+        """UPGRADE: make twin, pagestate = WRITE; UP_ACK + WNOTIFY out."""
+        rt, vpn = rig
+        drive_fault(rt, 2, vpn, False)
+        frame = rt.protocol.frame(1, vpn)
+        assert frame.twin is None
+        drive_fault(rt, 3, vpn, True)  # upgrade by the non-owner
+        assert frame.state is FrameState.WRITE
+        assert frame.twin is not None
+        home = rt.protocol.home(vpn)
+        assert home.write_dir == {1} and 1 not in home.read_dir  # arc 18
+
+    def test_arc14_read_invalidation_cleans_and_acks(self, rig):
+        """INV, pagestate == READ: clean + free page, PINV fan-out, ACK."""
+        rt, vpn = rig
+        drive_fault(rt, 2, vpn, False)  # reader
+        drive_fault(rt, 4, vpn, True)  # writer elsewhere
+        rt.protocol.frame(2, vpn).data[0] = 9.0
+        acks = msg_count(rt, "ACK")
+        drive_release(rt, 4)
+        assert msg_count(rt, "ACK") > acks
+        assert rt.protocol.frame(1, vpn).state is FrameState.INVALID
+        assert rt.protocol.frame(1, vpn).data is None
+
+    def test_arc14_write_invalidation_diffs(self, rig):
+        """INV, pagestate == WRITE: make diff, free page, DIFF home."""
+        rt, vpn = rig
+        drive_fault(rt, 2, vpn, True)
+        drive_fault(rt, 4, vpn, True)
+        rt.protocol.frame(1, vpn).data[3] = 7.0
+        rt.protocol.frame(2, vpn).data[4] = 8.0
+        drive_release(rt, 2)
+        assert msg_count(rt, "DIFF") >= 1
+        assert rt.protocol.home(vpn).data[3] == 7.0
+        assert rt.protocol.home(vpn).data[4] == 8.0
+
+    def test_arc14_single_writer_invalidation_sends_full_page(self, rig):
+        """1WINV: clean page, 1WDATA home, page stays cached."""
+        rt, vpn = rig
+        drive_fault(rt, 2, vpn, True)
+        rt.protocol.frame(1, vpn).data[5] = 5.0
+        drive_release(rt, 2)
+        assert msg_count(rt, "1WINV") == 1
+        assert msg_count(rt, "1WDATA") == 1
+        frame = rt.protocol.frame(1, vpn)
+        assert frame.state is FrameState.WRITE  # retained
+        assert frame.tlb_dir == set()  # but unmapped
+        assert rt.protocol.home(vpn).data[5] == 5.0
+
+
+class TestServerArcs:
+    def test_arc17_rreq_adds_reader_and_sends_rdat(self, rig):
+        rt, vpn = rig
+        drive_fault(rt, 2, vpn, False)
+        home = rt.protocol.home(vpn)
+        assert home.read_dir == {1}
+        assert home.state is ServerState.READ
+        assert msg_count(rt, "RDAT") == 1
+
+    def test_arc18_wreq_adds_writer_and_sends_wdat(self, rig):
+        rt, vpn = rig
+        drive_fault(rt, 2, vpn, True)
+        home = rt.protocol.home(vpn)
+        assert home.write_dir == {1}
+        assert home.state is ServerState.WRITE
+        assert msg_count(rt, "WDAT") == 1
+
+    def test_arc20_release_with_multiple_writers_invalidates_all(self, rig):
+        """REL, |write_dir| != 1: INV => read_dir ∪ write_dir."""
+        rt, vpn = rig
+        drive_fault(rt, 0, vpn, False)  # home-cluster reader
+        drive_fault(rt, 2, vpn, True)
+        drive_fault(rt, 4, vpn, True)
+        invs = msg_count(rt, "INV")
+        drive_release(rt, 2)
+        # All three replica holders were targeted.
+        assert msg_count(rt, "INV") >= invs + 3
+        assert msg_count(rt, "1WINV") == 0
+
+    def test_arc20_single_writer_split_targets(self, rig):
+        """REL, |write_dir| == 1: INV => read_dir, 1WINV => write_dir."""
+        rt, vpn = rig
+        drive_fault(rt, 4, vpn, False)  # reader cluster 2
+        drive_fault(rt, 2, vpn, True)  # sole writer cluster 1
+        drive_release(rt, 2)
+        assert msg_count(rt, "1WINV") == 1
+        assert msg_count(rt, "INV") >= 1  # the reader
+        assert rt.protocol.frame(2, vpn).state is FrameState.INVALID
+
+    def test_arc22_requests_queued_during_release(self, rig):
+        """RREQ during REL_IN_PROG: rd += {src}, served at completion."""
+        rt, vpn = rig
+        config = rt.config
+        rt2_delay = MachineConfig(
+            total_processors=6, cluster_size=2, inter_ssmp_delay=2000
+        )
+        rt2 = Runtime(rt2_delay)
+        arr = rt2.array("p", rt2_delay.words_per_page, home=0)
+        vpn2 = arr.base // rt2_delay.page_size
+        drive_fault(rt2, 2, vpn2, True)
+        rt2.protocol.frame(1, vpn2).data[0] = 3.0
+        done = []
+        rt2.protocol.release(2, lambda: done.append("rel"))
+        rt2.sim.schedule(2500, rt2.protocol.fault, 4, vpn2, False,
+                         lambda: done.append("read"))
+        rt2.sim.run(max_events=200_000)
+        assert done == ["rel", "read"] or done == ["read", "rel"]
+        assert rt2.protocol.stats["requests_queued_on_release"] >= 1
+        # The queued reader received post-merge data.
+        assert rt2.protocol.frame(2, vpn2).data[0] == 3.0
+
+    def test_arc23_completion_acknowledges_all_releasers(self, rig):
+        """ACK/DIFF/1WDATA with count == 0: RACK => rl."""
+        rt, vpn = rig
+        drive_fault(rt, 2, vpn, True)
+        drive_fault(rt, 4, vpn, True)
+        done = []
+        rt.protocol.release(2, lambda: done.append("a"))
+        rt.protocol.release(4, lambda: done.append("b"))
+        rt.sim.run(max_events=200_000)
+        assert sorted(done) == ["a", "b"]
+        home = rt.protocol.home(vpn)
+        assert home.state is not ServerState.REL_IN_PROG
+        assert not home.rl and home.count == 0

@@ -1,0 +1,56 @@
+"""Table 3 calibration: primitive operation costs match the paper."""
+
+import pytest
+
+from repro.bench.micro import PAPER_TABLE3, measure_micro_costs
+from repro.params import CostModel
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return measure_micro_costs().as_dict()
+
+
+@pytest.mark.parametrize(
+    "key",
+    ["tlb_fill", "read_miss", "write_miss", "release_1writer", "release_2writers"],
+)
+def test_software_costs_match_paper(measured, key):
+    assert measured[key] == pytest.approx(PAPER_TABLE3[key], rel=0.01)
+
+
+def test_hardware_group_matches_paper():
+    costs = CostModel()
+    assert costs.miss_local == PAPER_TABLE3["cache_miss_local"]
+    assert costs.miss_remote == PAPER_TABLE3["cache_miss_remote"]
+    assert costs.miss_2party == PAPER_TABLE3["cache_miss_2party"]
+    assert costs.miss_3party == PAPER_TABLE3["cache_miss_3party"]
+    assert costs.miss_software_dir == PAPER_TABLE3["remote_software"]
+
+
+def test_translation_group_matches_paper():
+    costs = CostModel()
+    assert costs.translate_array == PAPER_TABLE3["translate_array"]
+    assert costs.translate_pointer == PAPER_TABLE3["translate_pointer"]
+
+
+def test_ordering_relationships():
+    """Qualitative relationships the paper emphasizes hold."""
+    m = measure_micro_costs().as_dict()
+    # Write misses cost more than read misses (twinning + bookkeeping).
+    assert m["write_miss"] > m["read_miss"]
+    # A second writer makes a release much more expensive (diffs).
+    assert m["release_2writers"] > 1.5 * m["release_1writer"]
+    # A local fill is more than 6x cheaper than crossing SSMPs.
+    assert m["read_miss"] > 6 * m["tlb_fill"]
+
+
+def test_delay_increases_protocol_costs():
+    """With a 1000-cycle LAN delay, every inter-SSMP round trip grows by
+    at least two delays (request + response)."""
+    base = measure_micro_costs(inter_ssmp_delay=0).as_dict()
+    lan = measure_micro_costs(inter_ssmp_delay=1000).as_dict()
+    assert lan["tlb_fill"] == base["tlb_fill"]  # purely local
+    assert lan["read_miss"] >= base["read_miss"] + 2000
+    assert lan["write_miss"] >= base["write_miss"] + 2000
+    assert lan["release_1writer"] >= base["release_1writer"] + 2000

@@ -1,0 +1,62 @@
+"""Tests for the protocol tracer."""
+
+from repro import MachineConfig, Runtime
+from repro.trace import ProtocolTracer
+
+
+def run_traced(pages=None):
+    config = MachineConfig(total_processors=4, cluster_size=2,
+                           inter_ssmp_delay=500)
+    rt = Runtime(config)
+    arr = rt.array("a", 2 * config.words_per_page, home=0)
+    arr.init([0.0] * (2 * config.words_per_page))
+    vpn0 = arr.base // config.page_size
+    tracer = ProtocolTracer(rt, pages=pages)
+
+    def worker(env):
+        v = yield from env.read(arr.addr(0))
+        yield from env.write(arr.addr(env.pid), v + 1.0)
+        yield from env.read(arr.addr(config.words_per_page))  # second page
+        yield from env.barrier()
+
+    rt.spawn_all(worker)
+    rt.run()
+    return tracer, vpn0
+
+
+def test_traces_faults_grants_and_releases():
+    tracer, vpn0 = run_traced()
+    kinds = {e.kind for e in tracer.events}
+    assert {"FAULT", "REQ", "GRANT", "REL", "INVAL", "RESP"} <= kinds
+    assert len(tracer) > 10
+
+
+def test_page_filter_restricts_events():
+    tracer, vpn0 = run_traced(pages=[123456789])
+    assert len(tracer) == 0
+    tracer, vpn0 = run_traced(pages=None)
+    page_events = tracer.filter(vpn=vpn0)
+    assert page_events
+    assert all(e.vpn == vpn0 for e in page_events)
+
+
+def test_filter_by_kind_and_render():
+    tracer, vpn0 = run_traced()
+    faults = tracer.filter(kind="FAULT")
+    assert all(e.kind == "FAULT" for e in faults)
+    text = tracer.render(limit=5)
+    assert "FAULT" in text or "REQ" in text
+    assert "more events" in text
+
+
+def test_snapshot_shows_directory_state():
+    tracer, vpn0 = run_traced()
+    rel_events = [e for e in tracer.filter(kind="REL") if e.vpn == vpn0]
+    assert rel_events
+    assert "server=" in rel_events[0].snapshot
+
+
+def test_events_are_time_ordered():
+    tracer, _ = run_traced()
+    times = [e.time for e in tracer.events]
+    assert times == sorted(times)
