@@ -1,0 +1,91 @@
+"""Ablation: the repro.net interconnect subsystem vs the paper's model.
+
+Section 4.2.2 charges a fixed one-way latency per inter-SSMP message
+and leaves contention and loss unmodeled.  This sweep reruns the
+Figure 6 Jacobi curve over the pluggable external topologies (fixed /
+shared bus / switched fabric) and drop rates up to 10%.  Every run
+still validates Jacobi's output against the sequential golden
+computation — the reliable transport makes a lossy fabric transparent
+to the protocol engines, at a measurable retransmission cost.
+
+The (fixed, 0.0) cell doubles as the equivalence guarantee: it must be
+bit-for-bit the curve the default network produces.
+"""
+
+from conftest import save_report
+
+from repro.apps import jacobi
+from repro.bench import render_table, run_sweep
+from repro.params import NetworkConfig
+
+TOPOLOGIES = ("fixed", "bus", "fabric")
+LOSS_RATES = (0.0, 0.05, 0.10)
+PROCESSORS = 8
+PARAMS = jacobi.JacobiParams(n=32, iterations=3)
+
+
+def _sweep(network=None):
+    return run_sweep(
+        jacobi, params=PARAMS, total_processors=PROCESSORS, network=network
+    )
+
+
+def _run():
+    out = {"baseline": _sweep(network=None)}
+    for topo in TOPOLOGIES:
+        for loss in LOSS_RATES:
+            net = NetworkConfig(external=topo, drop_rate=loss)
+            out[(topo, loss)] = _sweep(net)
+    return out
+
+
+def test_ablation_network(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    baseline = results["baseline"]
+
+    rows = []
+    for topo in TOPOLOGIES:
+        for loss in LOSS_RATES:
+            sweep = results[(topo, loss)]
+            p1 = sweep.point(1)
+            rows.append(
+                [
+                    topo,
+                    f"{loss:.0%}",
+                    f"{p1.total_time:,}",
+                    f"{p1.total_time / baseline.point(1).total_time:.2f}x",
+                    f"{p1.network['retransmits']}",
+                    f"{p1.network['drops']}",
+                    f"{p1.network['queue_cycles']:,}",
+                ]
+            )
+    save_report(
+        "ablation_network",
+        f"Ablation: interconnect topology x loss rate "
+        f"(Jacobi, {PROCESSORS} processors, C=1 column)\n\n"
+        + render_table(
+            ["topology", "loss", "time C=1", "vs paper model",
+             "retransmits", "drops", "queue cycles"],
+            rows,
+        ),
+    )
+
+    # Equivalence guarantee: the default-model cell is bit-for-bit the
+    # curve the seed's hard-coded network produced.
+    assert results[("fixed", 0.0)].times() == baseline.times()
+    for p_new, p_base in zip(results[("fixed", 0.0)].points, baseline.points):
+        assert p_new.messages_inter_ssmp == p_base.messages_inter_ssmp
+
+    for topo in TOPOLOGIES:
+        clean = results[(topo, 0.0)]
+        lossy = results[(topo, 0.10)]
+        # Losses can only slow the machine down, and must be recovered.
+        assert lossy.point(1).total_time >= clean.point(1).total_time
+        assert lossy.point(1).network["retransmits"] > 0
+        assert lossy.point(1).network["drops"] > 0
+        # A single SSMP has no external traffic to fault.
+        assert lossy.point(PROCESSORS).network["drops"] == 0
+
+    # Contended models report queueing where the paper's model reports none.
+    assert results[("fixed", 0.0)].point(1).network["queue_cycles"] == 0
+    assert results[("bus", 0.0)].point(1).network["queue_cycles"] > 0

@@ -7,11 +7,34 @@ scenarios of Figure 4: replication, upgrade, single-writer release, and
 a multi-writer release with diff merging.
 
 Run:  python examples/protocol_trace.py
+      python examples/protocol_trace.py --loss-rate 0.2      # lossy LAN
+      python examples/protocol_trace.py --network bus
+
+With a nonzero ``--loss-rate`` the reliable transport in ``repro.net``
+kicks in: the trace annotates each step with the drops it survived and
+the retransmissions that recovered them.
 """
 
+import argparse
+
 from repro import MachineConfig
+from repro.cli import add_network_args, network_from_args
 from repro.core.page import FrameState
 from repro.runtime import Runtime
+
+
+_net_last = (0, 0, 0)
+
+
+def net_delta(rt):
+    """Report drop/retransmit activity since the previous step."""
+    global _net_last
+    stats = rt.machine.stats
+    cur = (stats.drops, stats.retransmits, stats.dups_suppressed)
+    if cur != _net_last:
+        d, r, s = (c - l for c, l in zip(cur, _net_last))
+        print(f"      net: +{d} drops, +{r} retransmits, +{s} dups suppressed")
+    _net_last = cur
 
 
 def drain(rt, label):
@@ -27,6 +50,7 @@ def fault(rt, pid, vpn, write):
     rt.sim.run(max_events=100_000)
     print(f"  [t={rt.sim.now:>7,}] proc {pid} {kind}-fault served in "
           f"{done[0] - start:,} cycles")
+    net_delta(rt)
 
 
 def release(rt, pid):
@@ -36,6 +60,7 @@ def release(rt, pid):
     rt.sim.run(max_events=100_000)
     print(f"  [t={rt.sim.now:>7,}] proc {pid} release completed in "
           f"{done[0] - start:,} cycles")
+    net_delta(rt)
 
 
 def show(rt, vpn):
@@ -50,8 +75,21 @@ def show(rt, vpn):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Trace the MGS protocol, optionally over a lossy network"
+    )
+    add_network_args(parser)
+    args = parser.parse_args()
+    try:
+        network = network_from_args(args)
+    except ValueError as exc:
+        parser.error(str(exc))
+
     # Three SSMPs of two processors; the page lives on SSMP 0.
-    config = MachineConfig(total_processors=6, cluster_size=2, inter_ssmp_delay=1000)
+    kwargs = {} if network is None else {"network": network}
+    config = MachineConfig(
+        total_processors=6, cluster_size=2, inter_ssmp_delay=1000, **kwargs
+    )
     rt = Runtime(config)
     page = rt.array("page", config.words_per_page, home=0)
     vpn = page.base // config.page_size
@@ -89,6 +127,14 @@ def main() -> None:
     print("\nprotocol event counts:")
     for key in sorted(stats):
         print(f"  {key:32s} {stats[key]}")
+
+    net = rt.machine.network_summary()
+    print("\nnetwork (repro.net):")
+    print(f"  external={net['external_model']} internal={net['internal_model']} "
+          f"reliable={net['reliable_transport']}")
+    for key in ("wire_messages", "drops", "dups_injected", "delays_injected",
+                "retransmits", "acks_sent", "dups_suppressed", "queue_cycles"):
+        print(f"  {key:32s} {net[key]}")
 
 
 if __name__ == "__main__":

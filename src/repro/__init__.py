@@ -11,7 +11,10 @@ Public API
 ----------
 
 * :class:`~repro.params.MachineConfig`, :class:`~repro.params.CostModel`,
+  :class:`~repro.params.NetworkConfig`,
   :class:`~repro.params.ProtocolOptions` — configuration.
+* :mod:`repro.net` — pluggable interconnect models, fault injection,
+  and the reliable-delivery transport.
 * :class:`~repro.runtime.Runtime`, :class:`~repro.runtime.Env`,
   :class:`~repro.runtime.SharedArray` — build and run applications.
 * :mod:`repro.apps` — the paper's five applications plus the Water
@@ -20,7 +23,7 @@ Public API
   (breakup penalty, multigrain potential, multigrain curvature).
 """
 
-from repro.params import CostModel, MachineConfig, ProtocolOptions
+from repro.params import CostModel, MachineConfig, NetworkConfig, ProtocolOptions
 from repro.runtime import Env, RunResult, Runtime, SharedArray
 
 __version__ = "1.0.0"
@@ -28,6 +31,7 @@ __version__ = "1.0.0"
 __all__ = [
     "CostModel",
     "MachineConfig",
+    "NetworkConfig",
     "ProtocolOptions",
     "Runtime",
     "Env",

@@ -14,6 +14,7 @@ from repro.apps import barnes_hut, jacobi, matmul, tsp, water, water_kernel
 from repro.bench.report import render_breakdown_figure, render_metrics
 from repro.bench.sweep import run_sweep, scale_factor
 from repro.metrics import ClusterSweep
+from repro.params import NetworkConfig
 
 __all__ = [
     "FigureSpec",
@@ -76,7 +77,9 @@ def bench_params(app: str, scale: int | None = None) -> Any:
     raise KeyError(f"unknown app {app!r}")
 
 
-def run_figure(key: str, total_processors: int = 32) -> ClusterSweep:
+def run_figure(
+    key: str, total_processors: int = 32, network: "NetworkConfig | None" = None
+) -> ClusterSweep:
     """Run the full cluster-size sweep behind one figure."""
     spec = FIGURES[key]
     params = bench_params(spec.app)
@@ -85,6 +88,7 @@ def run_figure(key: str, total_processors: int = 32) -> ClusterSweep:
         params=params,
         total_processors=total_processors,
         name=spec.app,
+        network=network,
     )
 
 

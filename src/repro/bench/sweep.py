@@ -6,7 +6,7 @@ import os
 from typing import Any
 
 from repro.metrics import ClusterSweep, SweepPoint, cluster_sizes
-from repro.params import CostModel, MachineConfig
+from repro.params import CostModel, MachineConfig, NetworkConfig
 
 __all__ = ["run_sweep", "scale_factor", "default_config"]
 
@@ -39,6 +39,7 @@ def run_sweep(
     inter_ssmp_delay: int = 1000,
     name: str | None = None,
     require_valid: bool = True,
+    network: NetworkConfig | None = None,
 ) -> ClusterSweep:
     """Run ``app_module.run`` at every cluster size and collect the curve.
 
@@ -50,9 +51,10 @@ def run_sweep(
     points = []
     app_name = name
     for c in sizes:
-        config = default_config(
-            c, total_processors, inter_ssmp_delay=inter_ssmp_delay
-        )
+        overrides = {"inter_ssmp_delay": inter_ssmp_delay}
+        if network is not None:
+            overrides["network"] = network
+        config = default_config(c, total_processors, **overrides)
         run = app_module.run(config, params, costs)
         if require_valid:
             run.require_valid()
@@ -66,6 +68,7 @@ def run_sweep(
                 lock_acquires=run.result.lock_stats.acquires,
                 protocol_stats=run.result.protocol_stats,
                 messages_inter_ssmp=run.result.messages_inter_ssmp,
+                network=run.result.network_stats,
             )
         )
     return ClusterSweep(

@@ -31,8 +31,52 @@ from repro.bench import (
     run_table4,
 )
 from repro.bench.micro import PAPER_TABLE3
+from repro.params import EXTERNAL_MODELS, NetworkConfig
 
-__all__ = ["main"]
+__all__ = ["main", "network_from_args"]
+
+
+def add_network_args(parser: argparse.ArgumentParser) -> None:
+    """The ``repro.net`` flag group shared with the examples."""
+    group = parser.add_argument_group("network model (repro.net)")
+    group.add_argument(
+        "--network",
+        choices=EXTERNAL_MODELS,
+        default="fixed",
+        help="external interconnect: fixed (paper model), bus, fabric",
+    )
+    group.add_argument(
+        "--loss-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="drop rate on external links; >0 enables the reliable transport",
+    )
+    group.add_argument(
+        "--dup-rate", type=float, default=0.0, metavar="RATE",
+        help="duplication rate on external links",
+    )
+    group.add_argument(
+        "--net-seed", type=int, default=None, metavar="SEED",
+        help="fault-injection PRNG seed",
+    )
+
+
+def network_from_args(args: argparse.Namespace) -> NetworkConfig | None:
+    """A NetworkConfig from the flag group, or None for the default model."""
+    if (
+        args.network == "fixed"
+        and args.loss_rate == 0.0
+        and args.dup_rate == 0.0
+        and args.net_seed is None
+    ):
+        return None
+    kwargs = dict(
+        external=args.network, drop_rate=args.loss_rate, dup_rate=args.dup_rate
+    )
+    if args.net_seed is not None:
+        kwargs["fault_seed"] = args.net_seed
+    return NetworkConfig(**kwargs)
 
 
 def _table3() -> str:
@@ -50,6 +94,25 @@ def _table3() -> str:
     return "Table 3 (software shared memory group)\n\n" + render_table(
         ["operation", "measured", "paper"], rows
     )
+
+
+def _print_network_stats(sweep) -> None:
+    """One line per cluster size when the net layers have anything to say."""
+    rows = [
+        (p.cluster_size, p.network)
+        for p in sweep.points
+        if p.network.get("retransmits") or p.network.get("drops")
+        or p.network.get("queue_cycles")
+    ]
+    if not rows:
+        return
+    print("\nnetwork (repro.net):")
+    for c, net in rows:
+        print(
+            f"  C={c:<3d} drops={net['drops']:<6d} retransmits={net['retransmits']:<6d} "
+            f"dups_suppressed={net['dups_suppressed']:<6d} "
+            f"queue_cycles={net['queue_cycles']}"
+        )
 
 
 def _fig11() -> str:
@@ -72,19 +135,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--processors", type=int, default=32, help="total processors (default 32)"
     )
+    add_network_args(parser)
     args = parser.parse_args(argv)
+    try:
+        network = network_from_args(args)
+    except ValueError as exc:
+        parser.error(str(exc))
 
     experiments = list(args.experiments)
     if experiments and experiments[0] == "sweep":
         if len(experiments) < 2 or experiments[1] not in ALL_APPS:
             parser.error(f"sweep needs an app name from {sorted(ALL_APPS)}")
         module = ALL_APPS[experiments[1]]
-        sweep = run_sweep(module, total_processors=args.processors)
+        sweep = run_sweep(
+            module, total_processors=args.processors, network=network
+        )
         from repro.bench import render_breakdown_figure, render_metrics
 
         print(render_breakdown_figure(sweep, f"sweep: {experiments[1]}"))
         print()
         print(render_metrics(sweep))
+        _print_network_stats(sweep)
         return 0
 
     if "all" in experiments:
@@ -99,8 +170,11 @@ def main(argv: list[str] | None = None) -> int:
         elif exp == "fig11":
             print(_fig11())
         elif exp in FIGURES:
-            sweep = run_figure(exp, total_processors=args.processors)
+            sweep = run_figure(
+                exp, total_processors=args.processors, network=network
+            )
             print(figure_report(exp, sweep))
+            _print_network_stats(sweep)
         else:
             print(f"unknown experiment {exp!r}", file=sys.stderr)
             return 2

@@ -242,12 +242,13 @@ class RemoteClient:
             send_work = costs.msg_send
             label = MsgType.ACK.value
 
+        header = ctx.config.control_msg_bytes
         if kind == "1w":
-            payload_bytes = 64 + ctx.config.page_size
+            payload_bytes = header + ctx.config.page_size
         elif kind == "write":
-            payload_bytes = 64 + 12 * len(payload[1])  # index + word pairs
+            payload_bytes = header + 12 * len(payload[1])  # index + word pairs
         else:
-            payload_bytes = 64
+            payload_bytes = header
         completion = ctx.machine.occupy(frame.owner_pid, send_work)
         ctx.machine.send(
             frame.owner_pid,

@@ -109,7 +109,7 @@ class Server:
             want_write,
             at=completion,
             label=label.value,
-            size=64 + ctx.config.page_size,
+            size=ctx.config.control_msg_bytes + ctx.config.page_size,
         )
 
     def on_wnotify(self, vpn: int, cluster: int) -> None:

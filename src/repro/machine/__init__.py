@@ -1,5 +1,5 @@
 """Machine model: processors, SSMP clusters, and message delivery."""
 
-from repro.machine.machine import Machine, ProcessorState
+from repro.machine.machine import Machine, MessageStats, ProcessorState
 
-__all__ = ["Machine", "ProcessorState"]
+__all__ = ["Machine", "MessageStats", "ProcessorState"]

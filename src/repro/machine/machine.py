@@ -11,6 +11,13 @@ paper's Figure 1:
   configurable ``inter_ssmp_delay`` (the paper's LAN model: a fixed
   latency, no contention, exactly as in section 4.2.2).
 
+All routing is delegated to the pluggable :mod:`repro.net` subsystem —
+topology/contention models behind the :class:`~repro.net.Interconnect`
+interface, deterministic fault injection, and a reliable-delivery
+transport — selected by :class:`~repro.params.NetworkConfig`.  With the
+default configuration every message takes the same single-event path the
+paper's model took, bit for bit.
+
 Handler model: a message handler runs at its arrival time, applies its
 state effects, and calls :meth:`Machine.occupy` with the handler's cycle
 cost.  ``occupy`` serializes handler execution per processor (one handler
@@ -28,12 +35,14 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.net import FaultInjector, ReliableTransport, build_external, build_internal
 from repro.params import CostModel, MachineConfig
 from repro.sim import Simulator
 
-__all__ = ["Machine", "ProcessorState"]
+__all__ = ["Machine", "MessageStats", "ProcessorState"]
 
-#: Wire latency, in cycles, of the internal (intra-SSMP) network.
+#: Default wire latency, in cycles, of the internal (intra-SSMP) network.
+#: Kept for back-compat; the live value is ``MachineConfig.intra_wire_latency``.
 INTRA_WIRE_LATENCY = 5
 
 
@@ -55,16 +64,49 @@ class ProcessorState:
 
 @dataclass
 class MessageStats:
-    """Counts of protocol messages, split by network."""
+    """Counts of protocol messages, split by network, plus the per-layer
+    counters the :mod:`repro.net` subsystem merges in."""
 
     inter_ssmp: int = 0
     intra_ssmp: int = 0
     #: bytes shipped over the external network
     inter_ssmp_bytes: int = 0
-    #: cycles inter-SSMP messages spent queued for the shared LAN link
-    #: (only nonzero when MachineConfig.lan_bandwidth > 0)
+    #: cycles inter-SSMP messages spent queued behind earlier traffic
+    #: (nonzero only for contended external models: bus, fabric)
     lan_queue_cycles: int = 0
     by_label: Counter = field(default_factory=Counter)
+    #: queue cycles split by link (one entry for "bus", one per fabric pair)
+    queue_cycles_by_link: Counter = field(default_factory=Counter)
+    #: datagrams actually put on the external wire (retransmissions,
+    #: acks, and injected duplicates included; drops excluded)
+    wire_messages: int = 0
+    # --- fault-injection layer ---
+    drops: int = 0
+    dups_injected: int = 0
+    delays_injected: int = 0
+    # --- reliable-transport layer ---
+    retransmits: int = 0
+    retransmits_by_link: Counter = field(default_factory=Counter)
+    acks_sent: int = 0
+    dups_suppressed: int = 0
+
+    def network_summary(self) -> dict:
+        """JSON-ready roll-up for ``metrics.export``."""
+        return {
+            "inter_ssmp": self.inter_ssmp,
+            "intra_ssmp": self.intra_ssmp,
+            "inter_ssmp_bytes": self.inter_ssmp_bytes,
+            "wire_messages": self.wire_messages,
+            "queue_cycles": self.lan_queue_cycles,
+            "queue_cycles_by_link": dict(self.queue_cycles_by_link),
+            "drops": self.drops,
+            "dups_injected": self.dups_injected,
+            "delays_injected": self.delays_injected,
+            "retransmits": self.retransmits,
+            "retransmits_by_link": dict(self.retransmits_by_link),
+            "acks_sent": self.acks_sent,
+            "dups_suppressed": self.dups_suppressed,
+        }
 
 
 class Machine:
@@ -72,7 +114,8 @@ class Machine:
 
     The machine knows nothing about pages or coherence; it only delivers
     messages with the right latency and serializes handler occupancy per
-    destination processor.
+    destination processor.  Latency, contention, loss, and recovery all
+    live in :mod:`repro.net`.
     """
 
     def __init__(self, sim: Simulator, config: MachineConfig, costs: CostModel) -> None:
@@ -84,13 +127,26 @@ class Machine:
             for p in range(config.total_processors)
         ]
         self.stats = MessageStats()
-        self._lan_free_at = 0
+        net = config.resolved_network
+        self.net_config = net
+        self.internal = build_internal(net, config)
+        self.external = build_external(net, config)
+        self.faults = FaultInjector(net) if net.faults_enabled else None
+        self.transport = (
+            ReliableTransport(self, net, config) if net.reliable_effective else None
+        )
 
     def wire_latency(self, src: int, dst: int) -> int:
-        """One-way latency between two processors."""
+        """Uncontended one-way latency between two processors."""
         if self.processors[src].cluster == self.processors[dst].cluster:
-            return INTRA_WIRE_LATENCY
+            return self.internal.latency(src, dst)
         return self.config.inter_ssmp_delay
+
+    def external_link(self, src: int, dst: int) -> str:
+        """Stats key of the external link a ``src``→``dst`` message uses."""
+        return self.external.link_name(
+            self.processors[src].cluster, self.processors[dst].cluster
+        )
 
     def send(
         self,
@@ -100,7 +156,7 @@ class Machine:
         *args: Any,
         label: str = "msg",
         at: int | None = None,
-        size: int = 64,
+        size: int | None = None,
     ) -> None:
         """Send a message from processor ``src`` to processor ``dst``.
 
@@ -111,30 +167,77 @@ class Machine:
         Args:
             at: send time; defaults to ``sim.now``.  Threads running ahead
                 of the global clock inside a quantum pass their local time.
-            size: message size in bytes (control messages default to 64;
-                data-carrying messages pass their payload size).  Only
-                matters when LAN contention modeling is enabled.
+            size: message size in bytes (control messages default to
+                ``config.control_msg_bytes``; data-carrying messages pass
+                their payload size).  Only matters to contended
+                interconnect models.
         """
+        if size is None:
+            size = self.config.control_msg_bytes
         send_time = self.sim.now if at is None else at
+        self.stats.by_label[label] += 1
         if self.processors[src].cluster == self.processors[dst].cluster:
             self.stats.intra_ssmp += 1
-            arrival = send_time + INTRA_WIRE_LATENCY
+            transit = self.internal.transit(src, dst, size, send_time)
+            self.sim.schedule_at(transit.arrival, fn, *args)
+            return
+        self.stats.inter_ssmp += 1
+        self.stats.inter_ssmp_bytes += size
+        if self.transport is not None:
+            self.transport.send(src, dst, fn, args, label, send_time, size)
         else:
-            self.stats.inter_ssmp += 1
-            self.stats.inter_ssmp_bytes += size
-            arrival = send_time + self.config.inter_ssmp_delay
-            bandwidth = self.config.lan_bandwidth
-            if bandwidth > 0:
-                # The external network is one shared link: messages
-                # serialize at `bandwidth` bytes/cycle (the contention
-                # the paper's fixed-latency model leaves out).
-                start = max(send_time, self._lan_free_at)
-                transfer = max(1, round(size / bandwidth))
-                self._lan_free_at = start + transfer
-                self.stats.lan_queue_cycles += start - send_time
-                arrival = start + transfer + self.config.inter_ssmp_delay
-        self.stats.by_label[label] += 1
-        self.sim.schedule_at(arrival, fn, *args)
+            self._transmit_external(src, dst, fn, args, send_time, size)
+
+    def _transmit_external(
+        self,
+        src: int,
+        dst: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...],
+        time: int,
+        size: int,
+    ) -> None:
+        """Put one datagram on the external wire (fault layer included).
+
+        The transport retransmits through this same path, so every copy —
+        original, duplicate, retransmission, ack — faces the same faults
+        and the same contention.
+        """
+        src_c = self.processors[src].cluster
+        dst_c = self.processors[dst].cluster
+        entries = [time]
+        if self.faults is not None:
+            decision = self.faults.decide(self.external.link_name(src_c, dst_c), time)
+            self.stats.drops += decision.dropped
+            self.stats.dups_injected += decision.duplicated
+            self.stats.delays_injected += decision.delayed
+            entries = decision.entries
+        for entry in entries:
+            self.stats.wire_messages += 1
+            if self.external.contended:
+                # Two-stage delivery: reserve the link *at* the wire-entry
+                # time, inside the event queue, so reservations happen in
+                # deterministic (time, seq) order regardless of the order
+                # threads called send with future timestamps.
+                self.sim.schedule_at(
+                    entry, self._enter_external, src_c, dst_c, fn, args, size
+                )
+            else:
+                transit = self.external.transit(src_c, dst_c, size, entry)
+                self.sim.schedule_at(transit.arrival, fn, *args)
+
+    def _enter_external(
+        self,
+        src_c: int,
+        dst_c: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...],
+        size: int,
+    ) -> None:
+        transit = self.external.transit(src_c, dst_c, size, self.sim.now)
+        self.stats.lan_queue_cycles += transit.queue_cycles
+        self.stats.queue_cycles_by_link[transit.link] += transit.queue_cycles
+        self.sim.schedule_at(transit.arrival, fn, *args)
 
     def occupy(self, pid: int, cycles: int) -> int:
         """Charge ``cycles`` of handler execution to processor ``pid``.
@@ -158,3 +261,23 @@ class Machine:
         stolen = proc.stolen_cycles
         proc.stolen_cycles = 0
         return stolen
+
+    def network_summary(self) -> dict:
+        """Model names plus every ``repro.net`` counter, for export."""
+        out = {
+            "external_model": self.external.name,
+            "internal_model": self.internal.name,
+            "reliable_transport": self.transport is not None,
+        }
+        out.update(self.stats.network_summary())
+        if self.faults is not None:
+            out["faults_by_link"] = {
+                link: {
+                    "transmissions": self.faults.transmissions[link],
+                    "drops": self.faults.drops[link],
+                    "dups": self.faults.dups[link],
+                    "delays": self.faults.delays[link],
+                }
+                for link in sorted(self.faults.transmissions)
+            }
+        return out

@@ -33,6 +33,7 @@ def run_result_to_dict(result: RunResult) -> dict:
             "intra_ssmp": result.messages_intra_ssmp,
         },
         "cache": result.cache_stats,
+        "network": result.network_stats,
     }
 
 
@@ -52,6 +53,7 @@ def sweep_to_dict(sweep: ClusterSweep) -> dict:
                 "lock_hit_ratio": p.lock_hit_ratio,
                 "lock_acquires": p.lock_acquires,
                 "messages_inter_ssmp": p.messages_inter_ssmp,
+                "network": p.network,
             }
             for p in sweep.points
         ],

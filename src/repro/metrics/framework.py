@@ -99,6 +99,8 @@ class SweepPoint:
     lock_acquires: int = 0
     protocol_stats: dict[str, int] = field(default_factory=dict)
     messages_inter_ssmp: int = 0
+    #: repro.net counters (queue cycles, drops, retransmits, ...)
+    network: dict = field(default_factory=dict)
 
 
 @dataclass

@@ -1,0 +1,105 @@
+"""Deterministic per-link fault injection for the external network.
+
+Every transmission on a link draws from a counter-based PRNG keyed by
+``(fault_seed, link, transmission counter)`` — a splitmix64 hash, so
+decisions depend only on the configuration and on the deterministic
+order in which the simulator puts messages on the wire.  No wall-clock
+randomness, no global ``random`` state: the same run always faults the
+same messages, which keeps lossy experiments bit-for-bit reproducible
+and lets a failing schedule be replayed under the tracer.
+
+A decision is a list of wire-entry times for the message's copies:
+``[]`` (dropped), ``[t]`` (delivered, possibly after an injected
+delay), or ``[t, t']`` (duplicated).  Retransmissions draw fresh
+decisions — a message is never *deterministically* doomed, so the
+reliable transport always converges.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+
+from repro.params import NetworkConfig
+
+__all__ = ["FaultDecision", "FaultInjector", "splitmix64"]
+
+_MASK = (1 << 64) - 1
+
+
+def splitmix64(z: int) -> int:
+    """One round of the splitmix64 mixing function."""
+    z = (z + 0x9E3779B97F4A7C15) & _MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return z ^ (z >> 31)
+
+
+class FaultDecision:
+    """What happened to one transmission."""
+
+    __slots__ = ("entries", "dropped", "duplicated", "delayed")
+
+    def __init__(
+        self,
+        entries: list[int],
+        dropped: bool = False,
+        duplicated: bool = False,
+        delayed: bool = False,
+    ) -> None:
+        self.entries = entries
+        self.dropped = dropped
+        self.duplicated = duplicated
+        self.delayed = delayed
+
+
+class FaultInjector:
+    """Per-link drop/duplicate/delay decisions with per-link counters."""
+
+    def __init__(self, net: NetworkConfig) -> None:
+        self.net = net
+        self._seed = splitmix64(net.fault_seed & _MASK)
+        #: transmissions seen per link (the PRNG counter)
+        self.transmissions: Counter = Counter()
+        self.drops: Counter = Counter()
+        self.dups: Counter = Counter()
+        self.delays: Counter = Counter()
+
+    def _uniforms(self, link: str, n: int) -> tuple[float, float, float]:
+        """Three independent U[0,1) draws for transmission ``n`` on ``link``."""
+        key = splitmix64(self._seed ^ zlib.crc32(link.encode("utf-8")))
+        base = splitmix64((key + n) & _MASK)
+        out = []
+        for _ in range(3):
+            base = splitmix64(base)
+            out.append(base / float(1 << 64))
+        return out[0], out[1], out[2]
+
+    def decide(self, link: str, time: int) -> FaultDecision:
+        """Fault one transmission entering ``link`` at ``time``."""
+        n = self.transmissions[link]
+        self.transmissions[link] += 1
+        u_drop, u_dup, u_delay = self._uniforms(link, n)
+        if u_drop < self.net.drop_rate:
+            self.drops[link] += 1
+            return FaultDecision([], dropped=True)
+        decision = FaultDecision([time])
+        if u_delay < self.net.delay_rate:
+            decision.entries[0] = time + self.net.delay_cycles
+            decision.delayed = True
+            self.delays[link] += 1
+        if u_dup < self.net.dup_rate:
+            # the duplicate takes the undelayed path (a raced copy)
+            decision.entries.append(time)
+            decision.duplicated = True
+            self.dups[link] += 1
+        return decision
+
+    def totals(self) -> dict[str, int]:
+        """Aggregate counters across links."""
+        return {
+            "transmissions": sum(self.transmissions.values()),
+            "drops": sum(self.drops.values()),
+            "dups_injected": sum(self.dups.values()),
+            "delays_injected": sum(self.delays.values()),
+        }

@@ -1,0 +1,217 @@
+"""Topology and contention models for the two DSSMP networks.
+
+Every model implements the :class:`Interconnect` interface.  Two node
+spaces exist, mirroring the paper's Figure 1:
+
+* **internal** models route between *processors of one SSMP* and are
+  stateless (hardware networks are not a contended resource at the
+  grain this simulator models): :class:`Wire` charges the fixed
+  ``intra_wire_latency``; :class:`Mesh2D` adds an Alewife-style
+  per-hop charge on a 2-D mesh.
+* **external** models route between *SSMP clusters*:
+  :class:`FixedLatency` is the paper's section 4.2.2 model (a constant
+  one-way delay, no contention — the default, and bit-for-bit identical
+  to the original hard-coded path); :class:`SharedBus` serializes every
+  message on one shared link; :class:`SwitchedFabric` gives each
+  ordered cluster pair a dedicated FIFO link.
+
+Contended models (``contended = True``) must be entered *at* the wire
+entry time: the :class:`~repro.machine.Machine` schedules a simulator
+event at the send time and calls :meth:`Interconnect.transit` inside
+it, so link reservations happen in deterministic ``(time, seq)`` event
+order — never in the order threads happened to call ``send`` with
+thread-local future timestamps (the seed's LAN reservation bug).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.params import MachineConfig, NetworkConfig
+
+__all__ = [
+    "Transit",
+    "Interconnect",
+    "Wire",
+    "Mesh2D",
+    "FixedLatency",
+    "SharedBus",
+    "SwitchedFabric",
+    "build_internal",
+    "build_external",
+]
+
+
+@dataclass(frozen=True)
+class Transit:
+    """Outcome of routing one message."""
+
+    #: absolute arrival time at the destination
+    arrival: int
+    #: cycles spent queued behind earlier traffic on the link
+    queue_cycles: int
+    #: stable name of the link used (per-link stats key)
+    link: str
+
+
+class Interconnect:
+    """Common interface of every topology model."""
+
+    #: model name as it appears in ``NetworkConfig``/stats
+    name: str = "interconnect"
+    #: True when :meth:`transit` mutates link state and therefore must be
+    #: called at the wire-entry time, in simulator event order
+    contended: bool = False
+
+    def transit(self, src: int, dst: int, size: int, now: int) -> Transit:
+        """Route a ``size``-byte message entering the network at ``now``.
+
+        ``src``/``dst`` are processor ids for internal models and
+        cluster ids for external models.
+        """
+        raise NotImplementedError
+
+    def latency(self, src: int, dst: int) -> int:
+        """Uncontended one-way latency (used for cost estimates)."""
+        return self.transit(src, dst, 0, 0).arrival
+
+    def link_name(self, src: int, dst: int) -> str:
+        """Stable stats key of the link a ``src``→``dst`` message uses."""
+        return self.name
+
+
+# ----------------------------------------------------------------------
+# internal (intra-SSMP) models
+# ----------------------------------------------------------------------
+
+
+class Wire(Interconnect):
+    """Fixed wire latency between any two processors of an SSMP."""
+
+    name = "wire"
+
+    def __init__(self, wire_latency: int) -> None:
+        self.wire_latency = wire_latency
+
+    def transit(self, src: int, dst: int, size: int, now: int) -> Transit:
+        return Transit(now + self.wire_latency, 0, "wire")
+
+
+class Mesh2D(Interconnect):
+    """Alewife-style 2-D mesh inside an SSMP: hop-count latency.
+
+    Processors of a cluster are laid out row-major on the smallest
+    square that holds ``cluster_size`` of them; a message pays the base
+    wire latency plus ``hop_latency`` per Manhattan hop.
+    """
+
+    name = "mesh"
+
+    def __init__(self, cluster_size: int, wire_latency: int, hop_latency: int) -> None:
+        self.cluster_size = cluster_size
+        self.wire_latency = wire_latency
+        self.hop_latency = hop_latency
+        self.side = max(1, math.isqrt(max(0, cluster_size - 1)) + 1)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance between two processors' mesh positions."""
+        a, b = src % self.cluster_size, dst % self.cluster_size
+        ax, ay = a % self.side, a // self.side
+        bx, by = b % self.side, b // self.side
+        return abs(ax - bx) + abs(ay - by)
+
+    def transit(self, src: int, dst: int, size: int, now: int) -> Transit:
+        latency = self.wire_latency + self.hops(src, dst) * self.hop_latency
+        return Transit(now + latency, 0, "mesh")
+
+
+# ----------------------------------------------------------------------
+# external (inter-SSMP) models
+# ----------------------------------------------------------------------
+
+
+class FixedLatency(Interconnect):
+    """The paper's model: every message pays one fixed latency."""
+
+    name = "fixed"
+
+    def __init__(self, delay: int) -> None:
+        self.delay = delay
+
+    def transit(self, src: int, dst: int, size: int, now: int) -> Transit:
+        return Transit(now + self.delay, 0, "lan")
+
+    def link_name(self, src: int, dst: int) -> str:
+        return "lan"
+
+
+class SharedBus(Interconnect):
+    """One shared link: messages serialize at ``bandwidth`` bytes/cycle.
+
+    Subsumes the seed's ``lan_bandwidth`` hack, with the reservation
+    reordering bug fixed by ``contended`` two-stage scheduling.
+    """
+
+    name = "bus"
+    contended = True
+
+    def __init__(self, delay: int, bandwidth: float) -> None:
+        self.delay = delay
+        self.bandwidth = bandwidth
+        self._free_at = 0
+
+    def transit(self, src: int, dst: int, size: int, now: int) -> Transit:
+        start = max(now, self._free_at)
+        transfer = max(1, round(size / self.bandwidth))
+        self._free_at = start + transfer
+        return Transit(start + transfer + self.delay, start - now, "bus")
+
+
+class SwitchedFabric(Interconnect):
+    """A dedicated FIFO link per ordered cluster pair.
+
+    Each link serializes its own traffic at ``bandwidth`` bytes/cycle;
+    disjoint pairs never contend (the crossbar ideal).
+    """
+
+    name = "fabric"
+    contended = True
+
+    def __init__(self, delay: int, bandwidth: float) -> None:
+        self.delay = delay
+        self.bandwidth = bandwidth
+        self._free_at: dict[tuple[int, int], int] = {}
+
+    def transit(self, src: int, dst: int, size: int, now: int) -> Transit:
+        key = (src, dst)
+        start = max(now, self._free_at.get(key, 0))
+        transfer = max(1, round(size / self.bandwidth))
+        self._free_at[key] = start + transfer
+        return Transit(start + transfer + self.delay, start - now, f"{src}->{dst}")
+
+    def link_name(self, src: int, dst: int) -> str:
+        return f"{src}->{dst}"
+
+
+# ----------------------------------------------------------------------
+# factories
+# ----------------------------------------------------------------------
+
+
+def build_internal(net: NetworkConfig, config: MachineConfig) -> Interconnect:
+    """The intra-SSMP network named by ``net.internal``."""
+    if net.internal == "mesh":
+        return Mesh2D(
+            config.cluster_size, config.intra_wire_latency, net.mesh_hop_latency
+        )
+    return Wire(config.intra_wire_latency)
+
+
+def build_external(net: NetworkConfig, config: MachineConfig) -> Interconnect:
+    """The inter-SSMP network named by ``net.external``."""
+    if net.external == "bus":
+        return SharedBus(config.inter_ssmp_delay, net.bus_bandwidth)
+    if net.external == "fabric":
+        return SwitchedFabric(config.inter_ssmp_delay, net.link_bandwidth)
+    return FixedLatency(config.inter_ssmp_delay)

@@ -1,0 +1,176 @@
+"""Reliable-delivery transport over a lossy external network.
+
+The MGS protocol engines assume the network of the paper's section
+4.2.2: every message arrives, exactly once, and (given the fixed
+latency) in the order it was sent.  Fault injection breaks all three.
+This transport restores them — per-destination channels carry sequence
+numbers, receivers acknowledge every datagram and deliver strictly
+in order with duplicate suppression, and senders retransmit on an
+exponential-backoff timer — so the engines run unmodified over a fabric
+that drops, duplicates, and delays.
+
+Determinism: sequence numbers are assigned by a staged simulator event
+at the send time (not at call time), so channel ordering follows the
+simulator's ``(time, seq)`` event order even when threads pass
+thread-local future send times.  Retransmission timers are lazily
+cancelled — an acknowledged or superseded timer finds nothing to do.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.params import MachineConfig, NetworkConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import Machine
+
+__all__ = ["ReliableTransport"]
+
+
+class _Pending:
+    """An unacknowledged datagram held for retransmission."""
+
+    __slots__ = ("src", "dst", "seq", "fn", "args", "label", "size", "attempts")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...],
+        label: str,
+        size: int,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.label = label
+        self.size = size
+        self.attempts = 0
+
+
+class ReliableTransport:
+    """Exactly-once, in-order delivery per ``(src, dst)`` channel."""
+
+    #: wire size of an acknowledgement
+    ACK_BYTES = 16
+
+    def __init__(self, machine: "Machine", net: NetworkConfig, config: MachineConfig) -> None:
+        self.machine = machine
+        self.sim = machine.sim
+        self.backoff_cap = net.backoff_cap
+        #: base retransmission timeout: comfortably above one round trip
+        #: plus the worst injected delay, so a healthy network almost
+        #: never retransmits spuriously
+        self.base_timeout = net.ack_timeout or max(
+            4 * config.inter_ssmp_delay, 2 * net.delay_cycles, 1000
+        )
+        self._next_seq: Counter = Counter()
+        self._pending: dict[tuple[tuple[int, int], int], _Pending] = {}
+        self._expected: Counter = Counter()
+        self._buffer: defaultdict[tuple[int, int], dict[int, tuple]] = defaultdict(dict)
+
+    @property
+    def in_flight(self) -> int:
+        """Datagrams sent but not yet acknowledged."""
+        return len(self._pending)
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...],
+        label: str,
+        time: int,
+        size: int,
+    ) -> None:
+        """Queue ``fn(*args)`` for reliable delivery from ``src`` to ``dst``.
+
+        Staged through the event queue so sequence numbers are assigned
+        in deterministic ``(time, seq)`` order.
+        """
+        self.sim.schedule_at(time, self._tx, src, dst, fn, args, label, size)
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+
+    def _tx(
+        self,
+        src: int,
+        dst: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...],
+        label: str,
+        size: int,
+    ) -> None:
+        ch = (src, dst)
+        seq = self._next_seq[ch]
+        self._next_seq[ch] += 1
+        entry = _Pending(src, dst, seq, fn, args, label, size)
+        self._pending[(ch, seq)] = entry
+        self._transmit(ch, entry)
+
+    def _transmit(self, ch: tuple[int, int], entry: _Pending) -> None:
+        entry.attempts += 1
+        stats = self.machine.stats
+        if entry.attempts > 1:
+            stats.retransmits += 1
+            stats.retransmits_by_link[
+                self.machine.external_link(entry.src, entry.dst)
+            ] += 1
+        self.machine._transmit_external(
+            entry.src,
+            entry.dst,
+            self._on_datagram,
+            (ch, entry.seq, entry.fn, entry.args),
+            self.sim.now,
+            entry.size,
+        )
+        timeout = self.base_timeout << min(entry.attempts - 1, self.backoff_cap)
+        self.sim.schedule(timeout, self._check, ch, entry.seq, entry.attempts)
+
+    def _check(self, ch: tuple[int, int], seq: int, attempts: int) -> None:
+        entry = self._pending.get((ch, seq))
+        if entry is None or entry.attempts != attempts:
+            return  # acknowledged, or a newer timer owns this datagram
+        self._transmit(ch, entry)
+
+    def _on_ack(self, ch: tuple[int, int], seq: int) -> None:
+        self._pending.pop((ch, seq), None)
+
+    # ------------------------------------------------------------------
+    # receiver side
+    # ------------------------------------------------------------------
+
+    def _on_datagram(
+        self,
+        ch: tuple[int, int],
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        src, dst = ch
+        stats = self.machine.stats
+        # Acknowledge every copy — the ack for an earlier copy may have
+        # been dropped, and the sender retransmits until one lands.
+        stats.acks_sent += 1
+        stats.by_label["net.ack"] += 1
+        self.machine._transmit_external(
+            dst, src, self._on_ack, (ch, seq), self.sim.now, self.ACK_BYTES
+        )
+        buf = self._buffer[ch]
+        if seq < self._expected[ch] or seq in buf:
+            stats.dups_suppressed += 1
+            return
+        buf[seq] = (fn, args)
+        while self._expected[ch] in buf:
+            deliver_fn, deliver_args = buf.pop(self._expected[ch])
+            self._expected[ch] += 1
+            deliver_fn(*deliver_args)

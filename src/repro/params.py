@@ -21,9 +21,90 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-__all__ = ["MachineConfig", "CostModel", "ProtocolOptions"]
+__all__ = ["MachineConfig", "CostModel", "NetworkConfig", "ProtocolOptions"]
 
 WORD_BYTES = 8
+
+#: names of the external (inter-SSMP) interconnect models in ``repro.net``
+EXTERNAL_MODELS = ("fixed", "bus", "fabric")
+#: names of the internal (intra-SSMP) interconnect models in ``repro.net``
+INTERNAL_MODELS = ("wire", "mesh")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Configuration of the ``repro.net`` interconnect subsystem.
+
+    The default (``external="fixed"``, ``internal="wire"``, all fault
+    rates zero, transport off) reproduces the paper's section 4.2.2
+    model bit-for-bit: a fixed one-way latency per network, no
+    contention, perfectly reliable delivery.
+
+    Attributes:
+        external: inter-SSMP topology — ``"fixed"`` (paper model),
+            ``"bus"`` (one shared link, serializes at
+            ``bus_bandwidth``), or ``"fabric"`` (a switched fabric with
+            a dedicated FIFO link per ordered cluster pair).
+        internal: intra-SSMP topology — ``"wire"`` (fixed
+            ``intra_wire_latency``) or ``"mesh"`` (Alewife-style 2-D
+            mesh: base latency plus a per-hop charge).
+        bus_bandwidth: bytes/cycle of the shared bus.
+        link_bandwidth: bytes/cycle of each fabric link.
+        mesh_hop_latency: extra cycles per mesh hop beyond the base
+            ``intra_wire_latency``.
+        drop_rate / dup_rate / delay_rate: per-message fault
+            probabilities on external links, decided by a deterministic
+            counter-seeded PRNG (no wall-clock randomness).
+        delay_cycles: extra latency applied to a "delay"-faulted message.
+        fault_seed: seed for the fault-decision PRNG.
+        reliable: force the reliable-delivery transport on (``True``) or
+            off (``False``); ``None`` auto-enables it exactly when any
+            fault rate is nonzero, so the MGS engines always see
+            exactly-once in-order delivery.
+        ack_timeout: base retransmission timeout in cycles; ``0`` derives
+            it from the machine's round-trip time.
+        backoff_cap: maximum number of timeout doublings.
+    """
+
+    external: str = "fixed"
+    internal: str = "wire"
+    bus_bandwidth: float = 1.0
+    link_bandwidth: float = 4.0
+    mesh_hop_latency: int = 1
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_cycles: int = 2000
+    fault_seed: int = 0xA1E31FE
+    reliable: bool | None = None
+    ack_timeout: int = 0
+    backoff_cap: int = 6
+
+    def __post_init__(self) -> None:
+        if self.external not in EXTERNAL_MODELS:
+            raise ValueError(f"external must be one of {EXTERNAL_MODELS}")
+        if self.internal not in INTERNAL_MODELS:
+            raise ValueError(f"internal must be one of {INTERNAL_MODELS}")
+        for name in ("drop_rate", "dup_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{name} must be in [0, 1)")
+        if self.bus_bandwidth <= 0 or self.link_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.delay_cycles < 0 or self.ack_timeout < 0 or self.backoff_cap < 0:
+            raise ValueError("delay_cycles/ack_timeout/backoff_cap must be >= 0")
+
+    @property
+    def faults_enabled(self) -> bool:
+        """True when any fault injection is configured."""
+        return self.drop_rate > 0 or self.dup_rate > 0 or self.delay_rate > 0
+
+    @property
+    def reliable_effective(self) -> bool:
+        """Whether the reliable transport wraps external messages."""
+        if self.reliable is None:
+            return self.faults_enabled
+        return self.reliable
 
 
 @dataclass(frozen=True)
@@ -60,8 +141,14 @@ class MachineConfig:
         line_size: bytes per hardware cache line (Alewife: 16 B).
         inter_ssmp_delay: fixed one-way latency, in cycles, added to every
             message that crosses an SSMP boundary (paper default 1000).
+        intra_wire_latency: one-way wire latency, in cycles, of the
+            internal (intra-SSMP) network.
+        control_msg_bytes: size, in bytes, of a protocol control message
+            (data-carrying messages add their payload on top).
         hw_dir_pointers: hardware directory pointers per line before the
             software-extended directory (LimitLESS) takes over.
+        network: the ``repro.net`` interconnect configuration (topology,
+            fault injection, reliable transport).
     """
 
     total_processors: int = 32
@@ -69,13 +156,16 @@ class MachineConfig:
     page_size: int = 1024
     line_size: int = 16
     inter_ssmp_delay: int = 1000
+    intra_wire_latency: int = 5
+    control_msg_bytes: int = 64
     hw_dir_pointers: int = 5
     #: LAN bandwidth in bytes/cycle for the external network; 0 disables
     #: contention modeling (the paper's fixed-latency model, section
-    #: 4.2.2 — which explicitly notes contention as unmodeled; this knob
-    #: is the extension closing that gap).  When positive, inter-SSMP
-    #: messages serialize on a shared link at this rate.
+    #: 4.2.2 — which explicitly notes contention as unmodeled).  A
+    #: positive value is back-compat shorthand for
+    #: ``NetworkConfig(external="bus", bus_bandwidth=...)``.
     lan_bandwidth: float = 0.0
+    network: NetworkConfig = field(default_factory=NetworkConfig)
     options: ProtocolOptions = field(default_factory=ProtocolOptions)
 
     def __post_init__(self) -> None:
@@ -89,6 +179,10 @@ class MachineConfig:
             raise ValueError("line_size must divide page_size")
         if self.page_size % WORD_BYTES != 0:
             raise ValueError("page_size must be a multiple of the word size")
+        if self.intra_wire_latency < 0:
+            raise ValueError("intra_wire_latency must be >= 0")
+        if self.control_msg_bytes < 1:
+            raise ValueError("control_msg_bytes must be >= 1")
 
     @property
     def num_clusters(self) -> int:
@@ -124,6 +218,19 @@ class MachineConfig:
     def with_cluster_size(self, cluster_size: int) -> "MachineConfig":
         """A copy of this config with a different cluster size."""
         return replace(self, cluster_size=cluster_size)
+
+    @property
+    def resolved_network(self) -> NetworkConfig:
+        """The effective :class:`NetworkConfig`.
+
+        A positive ``lan_bandwidth`` with the default ``fixed`` external
+        model is promoted to the shared-bus model it always meant.
+        """
+        if self.lan_bandwidth > 0 and self.network.external == "fixed":
+            return replace(
+                self.network, external="bus", bus_bandwidth=self.lan_bandwidth
+            )
+        return self.network
 
 
 @dataclass(frozen=True)

@@ -44,6 +44,8 @@ class RunResult:
     messages_inter_ssmp: int
     messages_intra_ssmp: int
     cache_stats: dict[str, int] = field(default_factory=dict)
+    #: repro.net roll-up: models, queue cycles, drops, retransmits, ...
+    network_stats: dict = field(default_factory=dict)
 
     def breakdown(self) -> dict[str, float]:
         """Average per-processor cycle breakdown (the paper's bars).
@@ -160,6 +162,7 @@ class Runtime:
             messages_inter_ssmp=self.machine.stats.inter_ssmp,
             messages_intra_ssmp=self.machine.stats.intra_ssmp,
             cache_stats={k.value: v for k, v in self.cache.stats.items()},
+            network_stats=self.machine.network_summary(),
         )
 
     # ------------------------------------------------------------------

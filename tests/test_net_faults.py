@@ -1,0 +1,99 @@
+"""Tests for the deterministic fault-injection layer."""
+
+from repro.machine import Machine
+from repro.net import FaultInjector
+from repro.params import CostModel, MachineConfig, NetworkConfig
+from repro.sim import Simulator
+
+
+def test_decisions_are_deterministic():
+    net = NetworkConfig(drop_rate=0.2, dup_rate=0.1, delay_rate=0.1)
+    a, b = FaultInjector(net), FaultInjector(net)
+    for n in range(500):
+        da = a.decide("lan", n * 10)
+        db = b.decide("lan", n * 10)
+        assert da.entries == db.entries
+        assert (da.dropped, da.duplicated, da.delayed) == (
+            db.dropped, db.duplicated, db.delayed
+        )
+
+
+def test_seed_changes_decisions():
+    base = NetworkConfig(drop_rate=0.3)
+    other = NetworkConfig(drop_rate=0.3, fault_seed=99)
+    a, b = FaultInjector(base), FaultInjector(other)
+    pattern_a = [a.decide("lan", 0).dropped for _ in range(200)]
+    pattern_b = [b.decide("lan", 0).dropped for _ in range(200)]
+    assert pattern_a != pattern_b
+
+
+def test_links_draw_independent_streams():
+    net = NetworkConfig(drop_rate=0.5)
+    inj = FaultInjector(net)
+    a = [inj.decide("0->1", 0).dropped for _ in range(200)]
+    inj2 = FaultInjector(net)
+    b = [inj2.decide("1->0", 0).dropped for _ in range(200)]
+    assert a != b
+
+
+def test_rates_are_approximately_honored():
+    net = NetworkConfig(drop_rate=0.25, dup_rate=0.1, delay_rate=0.1)
+    inj = FaultInjector(net)
+    n = 4000
+    for _ in range(n):
+        inj.decide("lan", 0)
+    totals = inj.totals()
+    assert totals["transmissions"] == n
+    assert 0.20 < totals["drops"] / n < 0.30
+    # dup/delay only apply to non-dropped messages
+    survivors = n - totals["drops"]
+    assert 0.06 < totals["dups_injected"] / survivors < 0.14
+    assert 0.06 < totals["delays_injected"] / survivors < 0.14
+
+
+def test_decision_shapes():
+    # Force each branch with extreme rates.
+    drop = FaultInjector(NetworkConfig(drop_rate=0.999999))
+    d = drop.decide("lan", 100)
+    assert d.dropped and d.entries == []
+
+    dup = FaultInjector(NetworkConfig(dup_rate=0.999999))
+    d = dup.decide("lan", 100)
+    assert d.duplicated and d.entries == [100, 100]
+
+    delay = FaultInjector(NetworkConfig(delay_rate=0.999999, delay_cycles=777))
+    d = delay.decide("lan", 100)
+    assert d.delayed and d.entries == [877]
+
+
+def test_machine_counts_faults_without_transport():
+    """reliable=False exposes the raw lossy network: drops vanish."""
+    net = NetworkConfig(drop_rate=0.999999, reliable=False)
+    sim = Simulator()
+    config = MachineConfig(
+        total_processors=4, cluster_size=2, inter_ssmp_delay=100, network=net
+    )
+    m = Machine(sim, config, CostModel())
+    delivered = []
+    m.send(0, 2, lambda: delivered.append(sim.now))
+    sim.run()
+    assert delivered == []
+    assert m.stats.drops == 1
+    assert m.stats.wire_messages == 0
+    assert m.stats.inter_ssmp == 1  # the logical send is still counted
+
+
+def test_runs_are_reproducible_under_faults():
+    from repro.apps import jacobi
+
+    net = NetworkConfig(drop_rate=0.1, dup_rate=0.05, delay_rate=0.05)
+    config = MachineConfig(
+        total_processors=4, cluster_size=1, inter_ssmp_delay=500, network=net
+    )
+    params = jacobi.JacobiParams(n=16, iterations=2)
+    a = jacobi.run(config, params)
+    b = jacobi.run(config, params)
+    assert a.valid and b.valid
+    assert a.total_time == b.total_time
+    assert a.result.network_stats == b.result.network_stats
+    assert a.result.network_stats["drops"] > 0
