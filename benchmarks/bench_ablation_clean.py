@@ -21,7 +21,9 @@ def _run(fast: bool):
         options=ProtocolOptions(fast_read_clean=fast),
     )
     j = jacobi.run(config, jacobi.JacobiParams(n=32, iterations=6)).require_valid()
-    w = water.run(config, water.WaterParams(n_molecules=33, iterations=2)).require_valid()
+    w = water.run(
+        config, water.WaterParams(n_molecules=33, iterations=2)
+    ).require_valid()
     return j.total_time, w.total_time
 
 

@@ -328,7 +328,9 @@ def build(rt: Runtime, params: BarnesHutParams):
                             yield from env.write(
                                 nw(node, F_COM + k), c + mb * p[k], ptr=True
                             )
-                            cx[k] = yield from env.read(nw(node, F_CENTER + k), ptr=True)
+                            cx[k] = yield from env.read(
+                                nw(node, F_CENTER + k), ptr=True
+                            )
                         half = yield from env.read(nw(node, F_HALF), ptr=True)
                         oct_no = int(p[0] > cx[0]) | (int(p[1] > cx[1]) << 1) | (
                             int(p[2] > cx[2]) << 2
@@ -459,7 +461,9 @@ def build(rt: Runtime, params: BarnesHutParams):
                         else:
                             for k in range(8):
                                 child = int(
-                                    (yield from env.read(nw(node, F_CHILD + k), ptr=True))
+                                    (yield from env.read(
+                                        nw(node, F_CHILD + k), ptr=True
+                                    ))
                                 )
                                 if child:
                                     stack.append(child)

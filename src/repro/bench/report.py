@@ -67,7 +67,9 @@ def render_breakdown_figure(sweep: ClusterSweep, title: str) -> str:
         )
         for c, p in ((p.cluster_size, p) for p in sweep.points)
     }
-    out.append("breakdown U/L/B/M per C: " + "  ".join(f"C{c}:{v}" for c, v in bd.items()))
+    out.append(
+        "breakdown U/L/B/M per C: " + "  ".join(f"C{c}:{v}" for c, v in bd.items())
+    )
     return "\n".join(out)
 
 

@@ -19,7 +19,9 @@ def scale_factor() -> int:
         return 1
 
 
-def default_config(cluster_size: int, total_processors: int = 32, **overrides) -> MachineConfig:
+def default_config(
+    cluster_size: int, total_processors: int = 32, **overrides
+) -> MachineConfig:
     """The paper's experimental platform: 32 processors, 1 KB pages,
     1000-cycle inter-SSMP message delay (section 5.2.1)."""
     return MachineConfig(
@@ -69,6 +71,8 @@ def run_sweep(
                 protocol_stats=run.result.protocol_stats,
                 messages_inter_ssmp=run.result.messages_inter_ssmp,
                 network=run.result.network_stats,
+                message_flows=run.result.message_flows,
+                transactions=run.result.transactions,
             )
         )
     return ClusterSweep(

@@ -62,6 +62,23 @@ def add_network_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def parse_trace_pages(value: str) -> set[int] | None:
+    """``--trace-pages`` argument: ``all`` or comma-separated vpns.
+
+    Returns None for ``all`` (trace every page), else the vpn set.
+    Accepts decimal or ``0x``-prefixed page numbers.
+    """
+    if value.strip().lower() == "all":
+        return None
+    try:
+        pages = {int(part, 0) for part in value.split(",") if part.strip()}
+    except ValueError as exc:
+        raise ValueError(f"bad --trace-pages value {value!r}: {exc}") from None
+    if not pages:
+        raise ValueError("--trace-pages needs 'all' or at least one vpn")
+    return pages
+
+
 def network_from_args(args: argparse.Namespace) -> NetworkConfig | None:
     """A NetworkConfig from the flag group, or None for the default model."""
     if (
@@ -109,10 +126,32 @@ def _print_network_stats(sweep) -> None:
     print("\nnetwork (repro.net):")
     for c, net in rows:
         print(
-            f"  C={c:<3d} drops={net['drops']:<6d} retransmits={net['retransmits']:<6d} "
+            f"  C={c:<3d} drops={net['drops']:<6d} "
+            f"retransmits={net['retransmits']:<6d} "
             f"dups_suppressed={net['dups_suppressed']:<6d} "
             f"queue_cycles={net['queue_cycles']}"
         )
+
+
+def _print_transaction_stats(sweep) -> None:
+    """Fault/release latency percentiles, one line per cluster size."""
+    rows = [
+        (p.cluster_size, p.transactions)
+        for p in sweep.points
+        if p.transactions
+    ]
+    if not rows:
+        return
+    print("\ntransaction latency (cycles):")
+    for c, txns in rows:
+        for kind in sorted(txns):
+            s = txns[kind]
+            if not s["count"]:
+                continue
+            print(
+                f"  C={c:<3d} {kind:<8s} n={s['count']:<6d} "
+                f"p50={s['p50']:<8d} p95={s['p95']:<8d} max={s['max']}"
+            )
 
 
 def _fig11() -> str:
@@ -135,13 +174,54 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--processors", type=int, default=32, help="total processors (default 32)"
     )
+    parser.add_argument(
+        "--trace-pages",
+        metavar="PAGES",
+        default=None,
+        help="trace protocol traffic for these vpns ('all' or e.g. '256,257'); "
+        "prints transaction-grouped traces after each run",
+    )
     add_network_args(parser)
     args = parser.parse_args(argv)
     try:
         network = network_from_args(args)
+        trace_pages = (
+            parse_trace_pages(args.trace_pages)
+            if args.trace_pages is not None
+            else False
+        )
     except ValueError as exc:
         parser.error(str(exc))
 
+    tracers: list = []
+    hook = None
+    if trace_pages is not False:
+        from repro.runtime import Runtime
+        from repro.trace import ProtocolTracer
+
+        def hook(rt):
+            tracers.append(ProtocolTracer(rt, pages=trace_pages))
+
+        Runtime.construction_hooks.append(hook)
+
+    try:
+        return _dispatch(parser, args, network)
+    finally:
+        if hook is not None:
+            Runtime.construction_hooks.remove(hook)
+            for tracer in tracers:
+                if not len(tracer):
+                    continue
+                config = tracer.rt.config
+                print(
+                    f"\n--- trace: C={config.cluster_size} "
+                    f"({len(tracer.transactions)} transactions, "
+                    f"{len(tracer)} events) ---"
+                )
+                print(tracer.render_transactions(limit=50))
+
+
+def _dispatch(parser, args, network) -> int:
     experiments = list(args.experiments)
     if experiments and experiments[0] == "sweep":
         if len(experiments) < 2 or experiments[1] not in ALL_APPS:
@@ -156,6 +236,7 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(render_metrics(sweep))
         _print_network_stats(sweep)
+        _print_transaction_stats(sweep)
         return 0
 
     if "all" in experiments:
@@ -175,6 +256,7 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(figure_report(exp, sweep))
             _print_network_stats(sweep)
+            _print_transaction_stats(sweep)
         else:
             print(f"unknown experiment {exp!r}", file=sys.stderr)
             return 2

@@ -15,14 +15,22 @@ of the paper:
 machine, hardware-coherence, and SVM substrates.
 """
 
+from repro.core.bus import MessageBus, MessageFlow, Transaction, handles
+from repro.core.messages import MsgType, ProtocolMessage
 from repro.core.page import FrameState, HomePage, PageFrame, ServerState
 from repro.core.protocol import MGSProtocol, ProtocolStats
 
 __all__ = [
     "FrameState",
     "HomePage",
+    "MessageBus",
+    "MessageFlow",
+    "MsgType",
     "PageFrame",
+    "ProtocolMessage",
     "ServerState",
     "MGSProtocol",
     "ProtocolStats",
+    "Transaction",
+    "handles",
 ]

@@ -1,0 +1,241 @@
+"""The typed protocol message bus.
+
+The three MGS engines (Local Client, Remote Client, Server) never call
+:meth:`Machine.send` directly: every Table 2 message is a frozen
+dataclass from :mod:`repro.core.messages`, routed through one
+:class:`MessageBus`.  The bus
+
+* owns **handler registration** — engines mark methods with
+  ``@handles(MsgType.RREQ)`` and :meth:`MessageBus.register` builds the
+  dispatch table, enforcing exactly one handler per message type;
+* routes through ``Machine.send`` (and therefore :mod:`repro.net`)
+  **unchanged** — one simulator event per message, same label, same wire
+  size, so the default-configuration cycle counts are bit-for-bit those
+  of the hand-wired callbacks it replaced;
+* auto-records **per-type observability** — delivered message counts,
+  wire bytes, and wire latency per :class:`MsgType`, plus the
+  per-transaction latency log behind the fault/release percentiles in
+  ``RunResult`` (see :mod:`repro.metrics.transactions`);
+* exposes **tap hooks** — :meth:`add_tap` observes every delivered
+  message, :meth:`add_txn_tap` every transaction begin/end; the
+  :class:`~repro.trace.ProtocolTracer` is nothing but a pair of taps.
+
+Transactions
+------------
+
+A *transaction* is one runtime-visible protocol operation: a mapping
+fault or a release point.  :meth:`begin` assigns a monotonically
+increasing id when the operation enters the protocol; every message sent
+on the operation's behalf carries that id in its ``txn`` field (through
+request/grant chains, invalidation rounds, and coalesced releases), and
+:meth:`end` closes the transaction when the operation's completion
+callback fires.  The closed latency samples feed the p50/p95/max
+histograms exported by ``metrics``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.messages import MsgType, ProtocolMessage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine import Machine
+    from repro.params import MachineConfig
+
+__all__ = ["MessageBus", "MessageFlow", "Transaction", "handles"]
+
+
+def handles(*types: MsgType | str) -> Callable:
+    """Mark an engine method as the handler for the given message types.
+
+    Accepts :class:`MsgType` members for Table 2 messages and bare label
+    strings for implementation-internal ones.  The mark is inert until
+    the engine is passed to :meth:`MessageBus.register`.
+    """
+    keys = tuple(t.value if isinstance(t, MsgType) else t for t in types)
+
+    def mark(fn: Callable) -> Callable:
+        fn._bus_handles = keys
+        return fn
+
+    return mark
+
+
+@dataclass
+class MessageFlow:
+    """Delivered-message statistics for one message type."""
+
+    count: int = 0
+    bytes: int = 0
+    #: total send->delivery cycles (includes queueing, faults, recovery)
+    latency_cycles: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "count": self.count,
+            "bytes": self.bytes,
+            "latency_cycles": self.latency_cycles,
+        }
+
+
+@dataclass
+class Transaction:
+    """One protocol operation, from runtime entry to completion."""
+
+    txn: int
+    kind: str  # "fault" or "release"
+    pid: int
+    vpn: int  # -1 for release operations (they span pages)
+    start: int
+    note: str = ""
+    end: int | None = None
+    #: messages delivered on this transaction's behalf
+    messages: int = 0
+
+    @property
+    def latency(self) -> int:
+        assert self.end is not None
+        return self.end - self.start
+
+
+class MessageBus:
+    """Typed dispatch, observability, and transaction bookkeeping."""
+
+    def __init__(self, machine: "Machine", config: "MachineConfig") -> None:
+        self.machine = machine
+        self.config = config
+        self._handlers: dict[str, Callable[[Any], None]] = {}
+        self._taps: list[Callable[[ProtocolMessage, int, int], None]] = []
+        self._txn_taps: list[Callable[[str, Transaction], None]] = []
+        self.flows: dict[str, MessageFlow] = {}
+        self._next_txn = 0
+        self.open_txns: dict[int, Transaction] = {}
+        #: closed-transaction latency samples, per kind
+        self.latencies: dict[str, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # handler registration
+    # ------------------------------------------------------------------
+
+    def register(self, engine: Any) -> None:
+        """Bind every ``@handles``-marked method of ``engine``."""
+        for cls in type(engine).__mro__:
+            for name, fn in vars(cls).items():
+                keys = getattr(fn, "_bus_handles", None)
+                if keys is None:
+                    continue
+                bound = getattr(engine, name)
+                for key in keys:
+                    if key in self._handlers:
+                        raise ValueError(
+                            f"duplicate handler for {key}: "
+                            f"{self._handlers[key]} and {bound}"
+                        )
+                    self._handlers[key] = bound
+
+    def handled_labels(self) -> set[str]:
+        """Labels with a registered handler (Table 2 plus internal)."""
+        return set(self._handlers)
+
+    def check_complete(self) -> None:
+        """Raise if any Table 2 message type lacks a handler."""
+        missing = [m.value for m in MsgType if m.value not in self._handlers]
+        if missing:
+            raise LookupError(f"no handler registered for {missing}")
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def send(self, msg: ProtocolMessage, at: int | None = None) -> None:
+        """Route a typed message to its destination's registered handler.
+
+        One ``Machine.send`` — the message travels the interconnect
+        (latency, contention, faults, reliable transport) exactly as the
+        positional-callback sends it replaced did.
+        """
+        label = msg.label
+        if label not in self._handlers:
+            raise LookupError(f"no handler registered for {label}")
+        sent_at = self.machine.sim.now if at is None else at
+        size = msg.wire_bytes(self.config)
+        self.machine.send(
+            msg.src_pid,
+            msg.dst_pid,
+            self._deliver,
+            msg,
+            sent_at,
+            size,
+            at=at,
+            label=label,
+            size=size,
+        )
+
+    def _deliver(self, msg: ProtocolMessage, sent_at: int, size: int) -> None:
+        now = self.machine.sim.now
+        flow = self.flows.get(msg.label)
+        if flow is None:
+            flow = self.flows[msg.label] = MessageFlow()
+        flow.count += 1
+        flow.bytes += size
+        flow.latency_cycles += now - sent_at
+        txn = self.open_txns.get(msg.txn)
+        if txn is not None:
+            txn.messages += 1
+        for tap in self._taps:
+            tap(msg, sent_at, now)
+        self._handlers[msg.label](msg)
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def begin(self, kind: str, pid: int, vpn: int = -1, note: str = "") -> int:
+        """Open a transaction; returns the id its messages must carry."""
+        txn = self._next_txn
+        self._next_txn += 1
+        rec = Transaction(
+            txn=txn, kind=kind, pid=pid, vpn=vpn,
+            start=self.machine.sim.now, note=note,
+        )
+        self.open_txns[txn] = rec
+        for tap in self._txn_taps:
+            tap("begin", rec)
+        return txn
+
+    def end(self, txn: int) -> None:
+        """Close a transaction and record its latency sample."""
+        rec = self.open_txns.pop(txn, None)
+        if rec is None:
+            return
+        rec.end = self.machine.sim.now
+        self.latencies.setdefault(rec.kind, []).append(rec.latency)
+        for tap in self._txn_taps:
+            tap("end", rec)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def add_tap(self, tap: Callable[[ProtocolMessage, int, int], None]) -> None:
+        """Observe every delivered message: ``tap(msg, sent_at, now)``."""
+        self._taps.append(tap)
+
+    def add_txn_tap(self, tap: Callable[[str, Transaction], None]) -> None:
+        """Observe transaction lifecycle: ``tap("begin"|"end", record)``."""
+        self._txn_taps.append(tap)
+
+    def flow_summary(self) -> dict[str, dict[str, int]]:
+        """Per-message-type counts/bytes/latency, JSON-ready."""
+        return {label: f.as_dict() for label, f in sorted(self.flows.items())}
+
+    def transaction_summary(self) -> dict[str, dict[str, float]]:
+        """Fault/release latency percentiles, JSON-ready."""
+        from repro.metrics.transactions import latency_summary
+
+        return {
+            kind: latency_summary(samples)
+            for kind, samples in sorted(self.latencies.items())
+        }

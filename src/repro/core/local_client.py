@@ -9,13 +9,29 @@ Server for replication of the page (arc 5, ``RREQ``/``WREQ``).
 The Local Client also implements the client side of release operations:
 walking the DUQ and sending one ``REL`` per dirty page, continuing on each
 ``RACK`` (arcs 8-10).
+
+All traffic flows as typed messages over the protocol bus
+(:mod:`repro.core.bus`); inbound arcs are the ``@handles``-marked
+methods.  Every message carries the transaction id of the fault or
+release operation it serves.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.core.messages import MsgType
+from repro.core.bus import handles
+from repro.core.messages import (
+    MsgType,
+    Rack,
+    Rdat,
+    Rel,
+    Rreq,
+    UpAck,
+    Upgrade,
+    Wdat,
+    Wreq,
+)
 from repro.core.page import FrameState, PageFrame, Waiter
 from repro.svm import MapMode
 
@@ -36,18 +52,28 @@ class LocalClient:
     # ------------------------------------------------------------------
 
     def fault(
-        self, pid: int, vpn: int, want_write: bool, on_done: Callable[[], None]
+        self,
+        pid: int,
+        vpn: int,
+        want_write: bool,
+        on_done: Callable[[], None],
+        txn: int,
     ) -> None:
         """Entry point for a TLB fault: trap + page-table probe."""
         ctx = self.ctx
         ctx.stats.record("faults")
         ctx.record_page(vpn, "faults")
         ctx.sim.schedule(
-            ctx.costs.fault_overhead, self._service, pid, vpn, want_write, on_done
+            ctx.costs.fault_overhead, self._service, pid, vpn, want_write, on_done, txn
         )
 
     def _service(
-        self, pid: int, vpn: int, want_write: bool, on_done: Callable[[], None]
+        self,
+        pid: int,
+        vpn: int,
+        want_write: bool,
+        on_done: Callable[[], None],
+        txn: int,
     ) -> None:
         """Fault body, running with the page-table state visible.
 
@@ -61,7 +87,7 @@ class LocalClient:
         if frame is not None and frame.lock_held:
             # Mapping lock busy (fault, upgrade, or invalidation in
             # progress): queue, exactly like spinning on the lock.
-            frame.waiters.append(Waiter(pid, want_write, on_done))
+            frame.waiters.append(Waiter(pid, want_write, on_done, txn))
             ctx.stats.record("fault_lock_waits")
             return
 
@@ -74,11 +100,11 @@ class LocalClient:
             if not want_write:
                 self._local_fill(frame, pid, False, on_done)  # arc 1
             else:
-                self._start_upgrade(frame, pid, on_done)  # arc 2
+                self._start_upgrade(frame, pid, on_done, txn)  # arc 2
             return
 
         # No usable frame (absent or INV): fetch from the home (arc 5).
-        self._start_fetch(pid, vpn, want_write, on_done, frame)
+        self._start_fetch(pid, vpn, want_write, on_done, frame, txn)
 
     def _local_fill(
         self,
@@ -99,23 +125,24 @@ class LocalClient:
         ctx.sim.schedule(ctx.costs.map_fill, on_done)
 
     def _start_upgrade(
-        self, frame: PageFrame, pid: int, on_done: Callable[[], None]
+        self, frame: PageFrame, pid: int, on_done: Callable[[], None], txn: int
     ) -> None:
         """Arc 2: request read->write privilege upgrade from the Remote
         Client that owns this SSMP's copy."""
         ctx = self.ctx
         frame.lock_held = True
         ctx.stats.record("upgrades")
-        ctx.machine.send(
-            pid,
-            frame.owner_pid,
-            ctx.remote.on_upgrade,
-            frame.vpn,
-            frame.cluster,
-            pid,
-            on_done,
+        ctx.bus.send(
+            Upgrade(
+                vpn=frame.vpn,
+                src_pid=pid,
+                src_cluster=frame.cluster,
+                dst_pid=frame.owner_pid,
+                dst_cluster=frame.cluster,
+                txn=txn,
+                on_done=on_done,
+            ),
             at=ctx.sim.now + ctx.costs.msg_intra_ssmp,
-            label=MsgType.UPGRADE.value,
         )
 
     def _start_fetch(
@@ -125,6 +152,7 @@ class LocalClient:
         want_write: bool,
         on_done: Callable[[], None],
         frame: PageFrame | None,
+        txn: int,
     ) -> None:
         """Arc 5: enter BUSY and request the page from the home Server."""
         ctx = self.ctx
@@ -141,54 +169,56 @@ class LocalClient:
         frame.aliases_home = aliases_home
         frame.state = FrameState.BUSY
         frame.lock_held = True
-        frame.waiters.append(Waiter(pid, want_write, on_done))
+        frame.waiters.append(Waiter(pid, want_write, on_done, txn))
         send_cost = (
             ctx.costs.msg_intra_ssmp if aliases_home else ctx.costs.msg_inter_ssmp
         )
-        msg = MsgType.WREQ if want_write else MsgType.RREQ
+        request = Wreq if want_write else Rreq
         ctx.stats.record("write_requests" if want_write else "read_requests")
-        ctx.machine.send(
-            pid,
-            home_pid,
-            ctx.server.on_request,
-            vpn,
-            cluster,
-            pid,
-            want_write,
+        ctx.bus.send(
+            request(
+                vpn=vpn,
+                src_pid=pid,
+                src_cluster=cluster,
+                dst_pid=home_pid,
+                dst_cluster=home_cluster,
+                txn=txn,
+            ),
             at=ctx.sim.now + send_cost,
-            label=msg.value,
         )
 
     # ------------------------------------------------------------------
     # data arrival (RDAT / WDAT, arcs 6-7)
     # ------------------------------------------------------------------
 
-    def on_data(self, vpn: int, cluster: int, req_pid: int, payload, write_grant: bool) -> None:
+    @handles(MsgType.RDAT, MsgType.WDAT)
+    def on_data(self, msg: Rdat | Wdat) -> None:
         """RDAT/WDAT arrived: install the frame and drain waiters."""
         ctx = self.ctx
+        vpn, cluster, req_pid = msg.vpn, msg.dst_cluster, msg.dst_pid
         frame = ctx.frames[cluster][vpn]
         assert frame.state is FrameState.BUSY, (
             f"data grant for vpn {vpn} in cluster {cluster} but frame is {frame.state}"
         )
         dispatch = ctx.dispatch_cost(cluster, vpn)
         work = dispatch
-        frame.data = payload
-        if write_grant:
+        frame.data = msg.data
+        if msg.write_grant:
             frame.state = FrameState.WRITE
             frame.post_snapshot_writes = True
             if not frame.aliases_home:
-                frame.twin = payload.copy()
+                frame.twin = msg.data.copy()
                 work += ctx.costs.make_twin(ctx.words_per_page)
         else:
             frame.state = FrameState.READ
         completion = ctx.machine.occupy(req_pid, work)
         ctx.sim.schedule_at(completion, self.release_mapping_lock, frame)
 
-    def on_up_ack(
-        self, vpn: int, cluster: int, pid: int, on_done: Callable[[], None]
-    ) -> None:
+    @handles(MsgType.UP_ACK)
+    def on_up_ack(self, msg: UpAck) -> None:
         """UP_ACK arrived: complete the upgrading fault (arc 7)."""
         ctx = self.ctx
+        vpn, cluster, pid = msg.vpn, msg.dst_cluster, msg.dst_pid
         frame = ctx.frames[cluster][vpn]
         assert frame.state is FrameState.WRITE
         completion = ctx.machine.occupy(pid, ctx.costs.msg_intra_ssmp)
@@ -196,7 +226,7 @@ class LocalClient:
         frame.tlb_dir.add(pid)
         ctx.duqs[pid].add(vpn)
         frame.post_snapshot_writes = True
-        ctx.sim.schedule_at(completion + ctx.costs.map_fill, on_done)
+        ctx.sim.schedule_at(completion + ctx.costs.map_fill, msg.on_done)
         ctx.sim.schedule_at(completion, self.release_mapping_lock, frame)
 
     def release_mapping_lock(self, frame: PageFrame) -> None:
@@ -214,16 +244,19 @@ class LocalClient:
             if frame.lock_held:
                 frame.waiters.append(waiter)
             else:
-                self._service(waiter.pid, frame.vpn, waiter.want_write, waiter.on_done)
+                self._service(
+                    waiter.pid, frame.vpn, waiter.want_write, waiter.on_done,
+                    waiter.txn,
+                )
         if not frame.lock_held and frame.queued_invals:
-            kind = frame.queued_invals.pop(0)
-            ctx.remote.start_inval(frame, kind)
+            kind, txn = frame.queued_invals.pop(0)
+            ctx.remote.start_inval(frame, kind, txn)
 
     # ------------------------------------------------------------------
     # release operation (DUQ drain, arcs 8-10)
     # ------------------------------------------------------------------
 
-    def release(self, pid: int, on_done: Callable[[], None]) -> None:
+    def release(self, pid: int, on_done: Callable[[], None], txn: int) -> None:
         """Release point: push every dirty page home, serially.
 
         Pages whose DUQ entry was stolen by an invalidation round (arc
@@ -246,9 +279,9 @@ class LocalClient:
             on_done()
             return
         ctx.stats.record("releases")
-        self._release_next(pid, on_done)
+        self._release_next(pid, on_done, txn)
 
-    def _release_next(self, pid: int, on_done: Callable[[], None]) -> None:
+    def _release_next(self, pid: int, on_done: Callable[[], None], txn: int) -> None:
         ctx = self.ctx
         duq = ctx.duqs[pid]
         if not duq:
@@ -257,26 +290,31 @@ class LocalClient:
         vpn = duq.pop_head()
         home_pid = ctx.aspace.home_proc(vpn)
         cluster = ctx.config.cluster_of(pid)
+        home_cluster = ctx.home_cluster(vpn)
         send_cost = (
             ctx.costs.msg_intra_ssmp
-            if cluster == ctx.home_cluster(vpn)
+            if cluster == home_cluster
             else ctx.costs.msg_inter_ssmp
         )
         ctx.stats.record("rel_pages")
-        ctx.machine.send(
-            pid,
-            home_pid,
-            ctx.server.on_rel,
-            vpn,
-            cluster,
-            pid,
-            on_done,
+        ctx.bus.send(
+            Rel(
+                vpn=vpn,
+                src_pid=pid,
+                src_cluster=cluster,
+                dst_pid=home_pid,
+                dst_cluster=home_cluster,
+                txn=txn,
+                on_done=on_done,
+            ),
             at=ctx.sim.now + ctx.costs.release_entry + send_cost,
-            label=MsgType.REL.value,
         )
 
-    def on_rack(self, pid: int, on_done: Callable[[], None]) -> None:
+    @handles(MsgType.RACK)
+    def on_rack(self, msg: Rack) -> None:
         """RACK arrived: continue with the next DUQ entry (arcs 9-10)."""
         ctx = self.ctx
-        completion = ctx.machine.occupy(pid, ctx.costs.msg_inter_ssmp)
-        ctx.sim.schedule_at(completion, self._release_next, pid, on_done)
+        completion = ctx.machine.occupy(msg.dst_pid, ctx.costs.msg_inter_ssmp)
+        ctx.sim.schedule_at(
+            completion, self._release_next, msg.dst_pid, msg.on_done, msg.txn
+        )

@@ -57,6 +57,8 @@ class Waiter:
     pid: int
     want_write: bool
     on_done: Callable[[], None]
+    #: transaction id of the fault this processor entered with
+    txn: int = -1
 
 
 @dataclass
@@ -75,12 +77,15 @@ class PageFrame:
     lock_held: bool = False
     #: faulting processors queued on the mapping lock
     waiters: list[Waiter] = field(default_factory=list)
-    #: invalidations that arrived while the mapping lock was held
+    #: invalidations that arrived while the mapping lock was held,
+    #: as ``(kind, txn)`` pairs
     queued_invals: list[Any] = field(default_factory=list)
     #: outstanding PINV acknowledgements during an invalidation
     pinv_count: int = 0
     #: kind of the invalidation in progress: "read", "write", or "1w"
     inval_kind: str | None = None
+    #: transaction id of the release round driving the invalidation
+    inval_txn: int = -1
     #: True while this frame aliases the home copy (home-cluster frame)
     aliases_home: bool = False
     #: a write mapping was handed out after the last invalidation
@@ -105,9 +110,11 @@ class HomePage:
     write_dir: set[int] = field(default_factory=set)  # clusters w/ write copy
     # --- REL_IN_PROG bookkeeping (Table 1, arcs 20-23) ---
     count: int = 0  # outstanding invalidation acknowledgements
-    rl: list[Any] = field(default_factory=list)  # queued releasers
-    rd: list[Any] = field(default_factory=list)  # queued read requests
-    wr: list[Any] = field(default_factory=list)  # queued write requests
+    rl: list[Any] = field(default_factory=list)  # queued releasers (Rel msgs)
+    rd: list[Any] = field(default_factory=list)  # queued read requests (Rreq)
+    wr: list[Any] = field(default_factory=list)  # queued write requests (Wreq)
+    #: transaction id of the release driving the in-flight round
+    round_txn: int = -1
     pending_wnotify: list[int] = field(default_factory=list)
     #: releases that arrived mid-round but cover post-snapshot writes;
     #: each is re-played as a fresh round after the current one completes

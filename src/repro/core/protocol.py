@@ -21,6 +21,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.bus import MessageBus
 from repro.core.duq import DUQ
 from repro.core.page import FrameState, HomePage, PageFrame
 from repro.hw import CacheSystem
@@ -87,9 +88,14 @@ class MGSProtocol:
         from repro.core.remote_client import RemoteClient
         from repro.core.server import Server
 
+        self.bus = MessageBus(machine, config)
         self.local = LocalClient(self)
         self.remote = RemoteClient(self)
         self.server = Server(self)
+        self.bus.register(self.local)
+        self.bus.register(self.remote)
+        self.bus.register(self.server)
+        self.bus.check_complete()
 
     # ------------------------------------------------------------------
     # state accessors
@@ -132,13 +138,28 @@ class MGSProtocol:
 
         Must be invoked at the faulting thread's current time (the runtime
         schedules it on the event queue).  ``on_done`` fires when the
-        mapping is installed; the elapsed interval is the fault latency.
+        mapping is installed; the elapsed interval is the fault latency,
+        tracked as one bus transaction.
         """
-        self.local.fault(pid, vpn, want_write, on_done)
+        txn = self.bus.begin(
+            "fault", pid, vpn, note="write" if want_write else "read"
+        )
+
+        def done() -> None:
+            self.bus.end(txn)
+            on_done()
+
+        self.local.fault(pid, vpn, want_write, done, txn)
 
     def release(self, pid: int, on_done: Callable[[], None]) -> None:
         """Drain the DUQ of ``pid`` (release point semantics)."""
-        self.local.release(pid, on_done)
+        txn = self.bus.begin("release", pid)
+
+        def done() -> None:
+            self.bus.end(txn)
+            on_done()
+
+        self.local.release(pid, done, txn)
 
     def record_page(self, vpn: int, key: str, amount: int = 1) -> None:
         """Count a per-page protocol event for the locality report."""
@@ -188,7 +209,7 @@ class MGSProtocol:
             return
         for pid, tlb in enumerate(self.tlbs):
             cluster = self.config.cluster_of(pid)
-            for vpn in list(getattr(tlb, "_entries")):
+            for vpn in tlb.mapped_vpns():
                 frame = self.frame(cluster, vpn)
                 assert frame is not None and frame.mapped, (
                     f"TLB of proc {pid} maps vpn {vpn} but frame is absent/unmapped"

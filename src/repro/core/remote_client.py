@@ -19,13 +19,31 @@ The diff (or page snapshot) is taken after all ``PINV`` acknowledgements
 arrive, so writes performed through still-valid TLB entries during the
 shootdown window are never lost.  This is the simulator's analogue of the
 paper's translation-critical-section rollback (section 4.2.1).
+
+All traffic flows as typed messages over the protocol bus; inbound arcs
+are the ``@handles``-marked methods.  Invalidation responses carry the
+transaction id of the release round that drove them.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.messages import MsgType
+from repro.core.bus import handles
+from repro.core.messages import (
+    Ack,
+    Diff,
+    Inv,
+    MsgType,
+    OneWdata,
+    OneWinv,
+    Pinv,
+    PinvAck,
+    RetainedUnlock,
+    UpAck,
+    Upgrade,
+    Wnotify,
+)
 from repro.core.page import FrameState, PageFrame, dirty_lines, make_diff
 
 if TYPE_CHECKING:
@@ -44,12 +62,15 @@ class RemoteClient:
     # upgrades (arc 13)
     # ------------------------------------------------------------------
 
-    def on_upgrade(self, vpn: int, cluster: int, req_pid: int, on_done) -> None:
+    @handles(MsgType.UPGRADE)
+    def on_upgrade(self, msg: Upgrade) -> None:
         """UPGRADE: twin the read page and raise privilege to write."""
         ctx = self.ctx
+        vpn, cluster, req_pid = msg.vpn, msg.src_cluster, msg.src_pid
         frame = ctx.frames[cluster][vpn]
         assert frame.state is FrameState.READ and frame.lock_held, (
-            f"upgrade of vpn {vpn} found frame in {frame.state} (lock={frame.lock_held})"
+            f"upgrade of vpn {vpn} found frame in {frame.state} "
+            f"(lock={frame.lock_held})"
         )
         work = ctx.costs.msg_intra_ssmp + 2 * ctx.costs.msg_send
         if not frame.aliases_home:
@@ -57,53 +78,67 @@ class RemoteClient:
             frame.twin = frame.data.copy()
         frame.state = FrameState.WRITE
         completion = ctx.machine.occupy(frame.owner_pid, work)
-        ctx.machine.send(
-            frame.owner_pid,
-            req_pid,
-            ctx.local.on_up_ack,
-            vpn,
-            cluster,
-            req_pid,
-            on_done,
+        ctx.bus.send(
+            UpAck(
+                vpn=vpn,
+                src_pid=frame.owner_pid,
+                src_cluster=cluster,
+                dst_pid=req_pid,
+                dst_cluster=cluster,
+                txn=msg.txn,
+                on_done=msg.on_done,
+            ),
             at=completion,
-            label=MsgType.UP_ACK.value,
         )
         home_pid = ctx.aspace.home_proc(vpn)
-        ctx.machine.send(
-            frame.owner_pid,
-            home_pid,
-            ctx.server.on_wnotify,
-            vpn,
-            cluster,
+        ctx.bus.send(
+            Wnotify(
+                vpn=vpn,
+                src_pid=frame.owner_pid,
+                src_cluster=cluster,
+                dst_pid=home_pid,
+                dst_cluster=ctx.config.cluster_of(home_pid),
+                txn=msg.txn,
+            ),
             at=completion,
-            label=MsgType.WNOTIFY.value,
         )
 
     # ------------------------------------------------------------------
     # invalidations (arcs 11-16)
     # ------------------------------------------------------------------
 
-    def on_inv(self, vpn: int, cluster: int, kind: str) -> None:
+    @handles(MsgType.INV, MsgType.ONE_WINV)
+    def on_inv(self, msg: Inv | OneWinv) -> None:
         """INV or 1WINV arrived from the Server."""
         ctx = self.ctx
-        frame = ctx.frames[cluster].get(vpn)
+        frame = ctx.frames[msg.dst_cluster].get(msg.vpn)
         assert frame is not None, (
-            f"INV for vpn {vpn} in cluster {cluster} with no frame"
+            f"INV for vpn {msg.vpn} in cluster {msg.dst_cluster} with no frame"
         )
+        if isinstance(msg, Inv) and msg.recall:
+            # Recall of a retained copy whose round saw foreign writes.
+            # The mapping lock is still held by the just-finished
+            # single-writer invalidation (see ``_inval_done``), so the
+            # queue below would wait forever; take the lock over directly.
+            assert frame.lock_held and frame.inval_kind is None
+            frame.lock_held = False
+            self.start_inval(frame, "inv", msg.txn)
+            return
         if frame.lock_held:
             # Mapping lock busy (fault/upgrade in flight): queue; the
             # Local Client re-launches us when the lock is released.
-            frame.queued_invals.append(kind)
+            frame.queued_invals.append((msg.kind, msg.txn))
             ctx.stats.record("inv_lock_waits")
             return
-        self.start_inval(frame, kind)
+        self.start_inval(frame, msg.kind, msg.txn)
 
-    def start_inval(self, frame: PageFrame, kind: str) -> None:
+    def start_inval(self, frame: PageFrame, kind: str, txn: int) -> None:
         """Begin the invalidation: clean/diff cost + TLB shootdown."""
         ctx = self.ctx
         costs = ctx.costs
         assert frame.inval_kind is None, "overlapping invalidations on one frame"
         frame.lock_held = True
+        frame.inval_txn = txn
 
         lines = ctx.config.lines_per_page
         words = ctx.words_per_page
@@ -156,19 +191,24 @@ class RemoteClient:
             return
         for pid in targets:
             ctx.stats.record("pinvs")
-            ctx.machine.send(
-                frame.owner_pid,
-                pid,
-                self.on_pinv,
-                frame,
-                pid,
+            ctx.bus.send(
+                Pinv(
+                    vpn=frame.vpn,
+                    src_pid=frame.owner_pid,
+                    src_cluster=frame.cluster,
+                    dst_pid=pid,
+                    dst_cluster=frame.cluster,
+                    txn=txn,
+                ),
                 at=completion,
-                label=MsgType.PINV.value,
             )
 
-    def on_pinv(self, frame: PageFrame, pid: int) -> None:
+    @handles(MsgType.PINV)
+    def on_pinv(self, msg: Pinv) -> None:
         """PINV: drop the TLB entry and the DUQ entry (arcs 11-12)."""
         ctx = self.ctx
+        pid = msg.dst_pid
+        frame = ctx.frames[msg.dst_cluster][msg.vpn]
         completion = ctx.machine.occupy(pid, ctx.costs.msg_intra_ssmp)
         ctx.tlbs[pid].invalidate(frame.vpn)
         if ctx.duqs[pid].remove_if_present(frame.vpn):
@@ -177,18 +217,23 @@ class RemoteClient:
             # complete before that round does (release semantics).  The
             # Local Client sends a data-less "join" REL for the page.
             ctx.stolen[pid].add(frame.vpn)
-        ctx.machine.send(
-            pid,
-            frame.owner_pid,
-            self.on_pinv_ack,
-            frame,
+        ctx.bus.send(
+            PinvAck(
+                vpn=frame.vpn,
+                src_pid=pid,
+                src_cluster=frame.cluster,
+                dst_pid=frame.owner_pid,
+                dst_cluster=frame.cluster,
+                txn=msg.txn,
+            ),
             at=completion,
-            label=MsgType.PINV_ACK.value,
         )
 
-    def on_pinv_ack(self, frame: PageFrame) -> None:
+    @handles(MsgType.PINV_ACK)
+    def on_pinv_ack(self, msg: PinvAck) -> None:
         """Collect TLB shootdown acknowledgements (arcs 15-16)."""
         ctx = self.ctx
+        frame = ctx.frames[msg.dst_cluster][msg.vpn]
         completion = ctx.machine.occupy(frame.owner_pid, ctx.costs.msg_intra_ssmp)
         frame.pinv_count -= 1
         if frame.pinv_count == 0:
@@ -199,12 +244,22 @@ class RemoteClient:
         ctx = self.ctx
         costs = ctx.costs
         kind = frame.inval_kind
+        txn = frame.inval_txn
         frame.inval_kind = None
+        frame.inval_txn = -1
         frame.tlb_dir.clear()
         # The snapshot below covers every write made so far: releases of
         # those writes may coalesce into the round in flight.
         frame.post_snapshot_writes = False
         home_pid = ctx.aspace.home_proc(frame.vpn)
+        endpoints = dict(
+            vpn=frame.vpn,
+            src_pid=frame.owner_pid,
+            src_cluster=frame.cluster,
+            dst_pid=home_pid,
+            dst_cluster=ctx.config.cluster_of(home_pid),
+            txn=txn,
+        )
         wpl = ctx.config.words_per_line
 
         if kind == "1w":
@@ -214,53 +269,33 @@ class RemoteClient:
             # upgraded while the round was in flight — are never
             # clobbered by the full-page install.
             indices, values = make_diff(frame.data, frame.twin)
-            payload = ("full", indices, values)
+            response = OneWdata(indices=indices, values=values, **endpoints)
             frame.twin = frame.data.copy()
             # Page stays cached with write privilege (the optimization's
             # whole point: reward sharing within the SSMP).
             send_work = costs.dma_page(ctx.config.lines_per_page) + costs.msg_send
-            label = MsgType.ONE_WDATA.value
             ctx.stats.record("one_writer_releases")
         elif kind == "write":
             indices, values = make_diff(frame.data, frame.twin)
-            payload = ("diff", indices, values)
+            response = Diff(indices=indices, values=values, **endpoints)
             frame.data = None
             frame.twin = None
             frame.state = FrameState.INVALID
             send_work = costs.dma_page(dirty_lines(indices, wpl)) + costs.msg_send
-            label = MsgType.DIFF.value
             ctx.stats.record("diffs_sent")
             ctx.stats.record("diff_words", len(indices))
             ctx.record_page(frame.vpn, "diff_words", len(indices))
         else:
             # "read", "alias_dirty", and "1w_alias": no data travels.
-            payload = ("ack_dirty",) if kind == "alias_dirty" else ("ack",)
+            response = Ack(dirty=kind == "alias_dirty", **endpoints)
             if kind in ("read", "alias_dirty"):
                 frame.data = None
                 frame.twin = None
                 frame.state = FrameState.INVALID
             send_work = costs.msg_send
-            label = MsgType.ACK.value
 
-        header = ctx.config.control_msg_bytes
-        if kind == "1w":
-            payload_bytes = header + ctx.config.page_size
-        elif kind == "write":
-            payload_bytes = header + 12 * len(payload[1])  # index + word pairs
-        else:
-            payload_bytes = header
         completion = ctx.machine.occupy(frame.owner_pid, send_work)
-        ctx.machine.send(
-            frame.owner_pid,
-            home_pid,
-            ctx.server.on_inval_response,
-            frame.vpn,
-            frame.cluster,
-            payload,
-            at=completion,
-            label=label,
-            size=payload_bytes,
-        )
+        ctx.bus.send(response, at=completion)
         if kind in ("1w", "1w_alias"):
             # The retained copy must not serve new mappings until the
             # release round completes: the round may still merge foreign
@@ -272,23 +307,11 @@ class RemoteClient:
             return
         ctx.sim.schedule_at(completion, ctx.local.release_mapping_lock, frame)
 
-    def on_retained_unlock(self, vpn: int, cluster: int) -> None:
+    @handles(RetainedUnlock.label)
+    def on_retained_unlock(self, msg: RetainedUnlock) -> None:
         """The release round completed: the retained copy is consistent
         with the home again and may serve local mappings."""
         ctx = self.ctx
-        frame = ctx.frames[cluster][vpn]
+        frame = ctx.frames[msg.dst_cluster][msg.vpn]
         ctx.machine.occupy(frame.owner_pid, ctx.costs.msg_intra_ssmp)
         ctx.local.release_mapping_lock(frame)
-
-    def on_recall(self, vpn: int, cluster: int) -> None:
-        """Recall a retained copy whose round saw foreign writes.
-
-        The mapping lock is still held by the just-finished single-writer
-        invalidation (see ``_inval_done``), so going through ``on_inv``
-        would queue forever; take the lock over directly.
-        """
-        ctx = self.ctx
-        frame = ctx.frames[cluster][vpn]
-        assert frame.lock_held and frame.inval_kind is None
-        frame.lock_held = False
-        self.start_inval(frame, "inv")

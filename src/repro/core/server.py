@@ -24,13 +24,35 @@ Robustness rules for races (documented in DESIGN.md section 3):
   run and prevents request/invalidate deadlock.
 * A ``WNOTIFY`` racing a release is queued and applied afterwards, and
   ignored if the round invalidated the upgrading cluster meanwhile.
+
+All traffic flows as typed messages over the protocol bus; inbound arcs
+are the ``@handles``-marked methods.  A release round's fan-out carries
+the transaction id of the ``REL`` that started it; queued releasers and
+requesters keep their own messages (and so their own transaction ids)
+until the round completes.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.messages import MsgType
+from repro.core.bus import handles
+from repro.core.messages import (
+    Ack,
+    Diff,
+    Inv,
+    MsgType,
+    OneWdata,
+    OneWinv,
+    Rack,
+    Rdat,
+    Rel,
+    RetainedUnlock,
+    Rreq,
+    Wdat,
+    Wnotify,
+    Wreq,
+)
 from repro.core.page import FrameState, HomePage, ServerState, apply_diff
 
 if TYPE_CHECKING:
@@ -49,19 +71,19 @@ class Server:
     # replication requests (arcs 17-19)
     # ------------------------------------------------------------------
 
-    def on_request(
-        self, vpn: int, req_cluster: int, req_pid: int, want_write: bool
-    ) -> None:
+    @handles(MsgType.RREQ, MsgType.WREQ)
+    def on_request(self, msg: Rreq | Wreq) -> None:
         ctx = self.ctx
-        home = ctx.home(vpn)
-        dispatch = ctx.dispatch_cost(req_cluster, vpn)
+        home = ctx.home(msg.vpn)
+        dispatch = ctx.dispatch_cost(msg.src_cluster, msg.vpn)
         if home.state is ServerState.REL_IN_PROG:
             ctx.machine.occupy(home.home_pid, dispatch)
-            queue = home.wr if want_write else home.rd
-            queue.append((req_cluster, req_pid))
+            queue = home.wr if msg.want_write else home.rd
+            queue.append(msg)
             ctx.stats.record("requests_queued_on_release")
             return
-        self._grant(home, req_cluster, req_pid, want_write, dispatch)
+        self._grant(home, msg.src_cluster, msg.src_pid, msg.want_write,
+                    dispatch, msg.txn)
 
     def _grant(
         self,
@@ -70,6 +92,7 @@ class Server:
         req_pid: int,
         want_write: bool,
         dispatch: int,
+        txn: int,
     ) -> None:
         """Send page data to a requester and update the directories."""
         ctx = self.ctx
@@ -97,30 +120,30 @@ class Server:
         else:
             home.read_dir.add(req_cluster)
         completion = ctx.machine.occupy(home.home_pid, work)
-        label = MsgType.WDAT if want_write else MsgType.RDAT
-        ctx.machine.send(
-            home.home_pid,
-            req_pid,
-            ctx.local.on_data,
-            home.vpn,
-            req_cluster,
-            req_pid,
-            payload,
-            want_write,
+        grant = Wdat if want_write else Rdat
+        ctx.bus.send(
+            grant(
+                vpn=home.vpn,
+                src_pid=home.home_pid,
+                src_cluster=home_cluster,
+                dst_pid=req_pid,
+                dst_cluster=req_cluster,
+                txn=txn,
+                data=payload,
+            ),
             at=completion,
-            label=label.value,
-            size=ctx.config.control_msg_bytes + ctx.config.page_size,
         )
 
-    def on_wnotify(self, vpn: int, cluster: int) -> None:
+    @handles(MsgType.WNOTIFY)
+    def on_wnotify(self, msg: Wnotify) -> None:
         """WNOTIFY: a read copy was upgraded to write (arc 18)."""
         ctx = self.ctx
-        home = ctx.home(vpn)
-        ctx.machine.occupy(home.home_pid, ctx.dispatch_cost(cluster, vpn))
+        home = ctx.home(msg.vpn)
+        ctx.machine.occupy(home.home_pid, ctx.dispatch_cost(msg.src_cluster, msg.vpn))
         if home.state is ServerState.REL_IN_PROG:
-            home.pending_wnotify.append(cluster)
+            home.pending_wnotify.append(msg.src_cluster)
             return
-        self._apply_wnotify(home, cluster)
+        self._apply_wnotify(home, msg.src_cluster)
 
     def _apply_wnotify(self, home: HomePage, cluster: int) -> None:
         home.read_dir.discard(cluster)
@@ -132,8 +155,10 @@ class Server:
     # release operations (arcs 20-23)
     # ------------------------------------------------------------------
 
-    def on_rel(self, vpn: int, rel_cluster: int, rel_pid: int, on_done) -> None:
+    @handles(MsgType.REL)
+    def on_rel(self, msg: Rel) -> None:
         ctx = self.ctx
+        vpn, rel_cluster, rel_pid = msg.vpn, msg.src_cluster, msg.src_pid
         home = ctx.home(vpn)
         dispatch = ctx.dispatch_cost(rel_cluster, vpn)
         if home.state is ServerState.REL_IN_PROG:
@@ -149,12 +174,12 @@ class Server:
                 # write copies): coalescing would acknowledge a release
                 # whose data never reached home.  Re-play it as a fresh
                 # round once the current one completes.
-                home.pending_rels.append((vpn, rel_cluster, rel_pid, on_done))
+                home.pending_rels.append(msg)
                 ctx.stats.record("releases_deferred")
                 return
             # Arc 22: queue the releaser; the in-flight round collects its
             # diff, so a single completion satisfies everyone.
-            home.rl.append((rel_cluster, rel_pid, on_done))
+            home.rl.append(msg)
             ctx.stats.record("releases_coalesced")
             return
 
@@ -169,15 +194,7 @@ class Server:
                 home.home_pid, dispatch + ctx.costs.msg_send
             )
             ctx.stats.record("joins_acked")
-            ctx.machine.send(
-                home.home_pid,
-                rel_pid,
-                ctx.local.on_rack,
-                rel_pid,
-                on_done,
-                at=completion,
-                label=MsgType.RACK.value,
-            )
+            self._send_rack(home, msg, at=completion)
             return
 
         directories = home.read_dir | home.write_dir
@@ -210,11 +227,12 @@ class Server:
             )
         )
         home.state = ServerState.REL_IN_PROG
-        home.rl = [(rel_cluster, rel_pid, on_done)]
+        home.rl = [msg]
         home.rd = []
         home.wr = []
         home.count = len(live)
         home.single_writer = rel_cluster if single_writer else None
+        home.round_txn = msg.txn
         ctx.stats.record("release_rounds")
 
         work = dispatch + ctx.costs.server_release + ctx.costs.msg_send * len(live)
@@ -224,38 +242,53 @@ class Server:
             return
         for cluster in live:
             frame = ctx.frame(cluster, vpn)
-            kind = "1w" if (single_writer and cluster == rel_cluster) else "inv"
-            label = MsgType.ONE_WINV if kind == "1w" else MsgType.INV
-            ctx.machine.send(
-                home.home_pid,
-                frame.owner_pid,
-                ctx.remote.on_inv,
-                vpn,
-                cluster,
-                "1w" if kind == "1w" else "inv",
+            inval = OneWinv if (single_writer and cluster == rel_cluster) else Inv
+            ctx.bus.send(
+                inval(
+                    vpn=vpn,
+                    src_pid=home.home_pid,
+                    src_cluster=ctx.config.cluster_of(home.home_pid),
+                    dst_pid=frame.owner_pid,
+                    dst_cluster=cluster,
+                    txn=msg.txn,
+                ),
                 at=completion,
-                label=label.value,
             )
 
-    def on_inval_response(self, vpn: int, cluster: int, payload) -> None:
+    def _send_rack(self, home: HomePage, rel: Rel, at: int | None) -> None:
+        """Acknowledge one releaser, echoing its transaction id."""
+        self.ctx.bus.send(
+            Rack(
+                vpn=rel.vpn,
+                src_pid=home.home_pid,
+                src_cluster=self.ctx.config.cluster_of(home.home_pid),
+                dst_pid=rel.src_pid,
+                dst_cluster=rel.src_cluster,
+                txn=rel.txn,
+                on_done=rel.on_done,
+            ),
+            at=at,
+        )
+
+    @handles(MsgType.ACK, MsgType.DIFF, MsgType.ONE_WDATA)
+    def on_inval_response(self, msg: Ack | Diff | OneWdata) -> None:
         """ACK / DIFF / 1WDATA from a Remote Client (arcs 22-23)."""
         ctx = self.ctx
-        home = ctx.home(vpn)
+        home = ctx.home(msg.vpn)
         assert home.state is ServerState.REL_IN_PROG
-        dispatch = ctx.dispatch_cost(cluster, vpn)
-        kind = payload[0]
+        cluster = msg.src_cluster
+        dispatch = ctx.dispatch_cost(cluster, msg.vpn)
         work = dispatch
-        if kind == "diff":
-            _tag, indices, values = payload
-            apply_diff(home.data, indices, values)
-            work += ctx.costs.apply_fixed + len(indices) * ctx.costs.apply_per_word
+        if isinstance(msg, Diff):
+            apply_diff(home.data, msg.indices, msg.values)
+            work += ctx.costs.apply_fixed + len(msg.indices) * ctx.costs.apply_per_word
             ctx.stats.record("diffs_merged")
-        elif kind == "full":
-            _tag, indices, values = payload
-            apply_diff(home.data, indices, values)
+        elif isinstance(msg, OneWdata):
+            apply_diff(home.data, msg.indices, msg.values)
             work += ctx.words_per_page * ctx.costs.apply_full_per_word
             ctx.stats.record("full_pages_merged")
-        if kind in ("diff", "ack_dirty") and home.single_writer is not None:
+        foreign_writer = isinstance(msg, Diff) or (isinstance(msg, Ack) and msg.dirty)
+        if foreign_writer and home.single_writer is not None:
             # A cluster the server believed was a reader contributed
             # writes — either a diff (it upgraded while its WNOTIFY raced
             # this release) or direct home-copy writes through the home
@@ -271,6 +304,7 @@ class Server:
     def _complete_release(self, home: HomePage) -> None:
         """Arc 23: home is consistent; wake releasers and serve queues."""
         ctx = self.ctx
+        home_cluster = ctx.config.cluster_of(home.home_pid)
         if home.single_writer is not None and home.round_foreign_diff:
             # A foreign writer surfaced during what started as a
             # single-writer round: recall the retained copy before
@@ -283,14 +317,17 @@ class Server:
                 home.count = 1
                 completion = ctx.machine.occupy(home.home_pid, ctx.costs.msg_send)
                 ctx.stats.record("one_writer_recalls")
-                ctx.machine.send(
-                    home.home_pid,
-                    frame.owner_pid,
-                    ctx.remote.on_recall,
-                    home.vpn,
-                    cluster,
+                ctx.bus.send(
+                    Inv(
+                        vpn=home.vpn,
+                        src_pid=home.home_pid,
+                        src_cluster=home_cluster,
+                        dst_pid=frame.owner_pid,
+                        dst_cluster=cluster,
+                        txn=home.round_txn,
+                        recall=True,
+                    ),
                     at=completion,
-                    label=MsgType.INV.value,
                 )
                 return
         home.round_foreign_diff = False
@@ -306,13 +343,15 @@ class Server:
             # the round so it could not serve stale data mid-merge.
             frame = ctx.frame(retained, home.vpn)
             if frame is not None:
-                ctx.machine.send(
-                    home.home_pid,
-                    frame.owner_pid,
-                    ctx.remote.on_retained_unlock,
-                    home.vpn,
-                    retained,
-                    label="1W_UNLOCK",
+                ctx.bus.send(
+                    RetainedUnlock(
+                        vpn=home.vpn,
+                        src_pid=home.home_pid,
+                        src_cluster=home_cluster,
+                        dst_pid=frame.owner_pid,
+                        dst_cluster=retained,
+                        txn=home.round_txn,
+                    )
                 )
 
         releasers = home.rl
@@ -320,32 +359,25 @@ class Server:
         writes = home.wr
         notifies = home.pending_wnotify
         home.rl, home.rd, home.wr, home.pending_wnotify = [], [], [], []
+        home.round_txn = -1
 
         send_work = ctx.costs.msg_send * max(1, len(releasers))
         completion = ctx.machine.occupy(home.home_pid, send_work)
-        for _cluster, rel_pid, on_done in releasers:
-            ctx.machine.send(
-                home.home_pid,
-                rel_pid,
-                ctx.local.on_rack,
-                rel_pid,
-                on_done,
-                at=completion,
-                label=MsgType.RACK.value,
-            )
+        for rel in releasers:
+            self._send_rack(home, rel, at=completion)
         for cluster in notifies:
             frame = ctx.frame(cluster, home.vpn)
             if frame is not None and frame.state is FrameState.WRITE:
                 self._apply_wnotify(home, cluster)
-        for req_cluster, req_pid in reads:
-            self._grant(home, req_cluster, req_pid, False, 0)
-        for req_cluster, req_pid in writes:
-            self._grant(home, req_cluster, req_pid, True, 0)
+        for req in reads:
+            self._grant(home, req.src_cluster, req.src_pid, False, 0, req.txn)
+        for req in writes:
+            self._grant(home, req.src_cluster, req.src_pid, True, 0, req.txn)
         if home.pending_rels:
             # Releases covering post-snapshot writes start a new round
             # (the first re-entry flips the state back to REL_IN_PROG;
             # the rest coalesce into it or defer again).
             pending = home.pending_rels
             home.pending_rels = []
-            for args in pending:
-                self.on_rel(*args)
+            for rel in pending:
+                self.on_rel(rel)

@@ -34,6 +34,8 @@ def run_result_to_dict(result: RunResult) -> dict:
         },
         "cache": result.cache_stats,
         "network": result.network_stats,
+        "message_flows": result.message_flows,
+        "transactions": result.transactions,
     }
 
 
@@ -54,6 +56,8 @@ def sweep_to_dict(sweep: ClusterSweep) -> dict:
                 "lock_acquires": p.lock_acquires,
                 "messages_inter_ssmp": p.messages_inter_ssmp,
                 "network": p.network,
+                "message_flows": p.message_flows,
+                "transactions": p.transactions,
             }
             for p in sweep.points
         ],

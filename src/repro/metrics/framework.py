@@ -101,6 +101,10 @@ class SweepPoint:
     messages_inter_ssmp: int = 0
     #: repro.net counters (queue cycles, drops, retransmits, ...)
     network: dict = field(default_factory=dict)
+    #: per-MsgType counts/bytes/latency from the protocol bus
+    message_flows: dict = field(default_factory=dict)
+    #: fault/release transaction latency percentiles
+    transactions: dict = field(default_factory=dict)
 
 
 @dataclass

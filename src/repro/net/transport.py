@@ -60,7 +60,9 @@ class ReliableTransport:
     #: wire size of an acknowledgement
     ACK_BYTES = 16
 
-    def __init__(self, machine: "Machine", net: NetworkConfig, config: MachineConfig) -> None:
+    def __init__(
+        self, machine: "Machine", net: NetworkConfig, config: MachineConfig
+    ) -> None:
         self.machine = machine
         self.sim = machine.sim
         self.backoff_cap = net.backoff_cap

@@ -78,7 +78,9 @@ class Env:
             data = self._frames[vpn].data
         owner = self._owner_pid(vpn)
         t.charge_user(
-            self._cache.access(self.cluster, self.pid, addr // self._line_size, False, owner)
+            self._cache.access(
+                self.cluster, self.pid, addr // self._line_size, False, owner
+            )
         )
         if t.time - t.last_yield > self._quantum:
             yield ("pause",)
@@ -98,7 +100,9 @@ class Env:
             data = self._frames[vpn].data
         owner = self._owner_pid(vpn)
         t.charge_user(
-            self._cache.access(self.cluster, self.pid, addr // self._line_size, True, owner)
+            self._cache.access(
+                self.cluster, self.pid, addr // self._line_size, True, owner
+            )
         )
         data[(addr % self._page_size) // WORD_BYTES] = value
         if t.time - t.last_yield > self._quantum:

@@ -46,6 +46,10 @@ class RunResult:
     cache_stats: dict[str, int] = field(default_factory=dict)
     #: repro.net roll-up: models, queue cycles, drops, retransmits, ...
     network_stats: dict = field(default_factory=dict)
+    #: per-MsgType delivered counts/bytes/latency from the protocol bus
+    message_flows: dict = field(default_factory=dict)
+    #: fault/release transaction latency percentiles (p50/p95/max)
+    transactions: dict = field(default_factory=dict)
 
     def breakdown(self) -> dict[str, float]:
         """Average per-processor cycle breakdown (the paper's bars).
@@ -71,6 +75,13 @@ class RunResult:
 class Runtime:
     """One simulated DSSMP execution context."""
 
+    #: callables invoked with every newly constructed Runtime.  The CLI
+    #: uses this to attach :class:`~repro.trace.ProtocolTracer` instances
+    #: (``--trace-pages``) without threading arguments through the app
+    #: modules.  Append and remove around a run; entries persist for the
+    #: process otherwise.
+    construction_hooks: list[Callable[["Runtime"], None]] = []
+
     def __init__(
         self,
         config: MachineConfig,
@@ -91,6 +102,8 @@ class Runtime:
         self.locks: list[MGSLock] = []
         self.threads: list[ThreadContext] = []
         self._spawned = False
+        for hook in Runtime.construction_hooks:
+            hook(self)
 
     # ------------------------------------------------------------------
     # setup API
@@ -163,6 +176,8 @@ class Runtime:
             messages_intra_ssmp=self.machine.stats.intra_ssmp,
             cache_stats={k.value: v for k, v in self.cache.stats.items()},
             network_stats=self.machine.network_summary(),
+            message_flows=self.protocol.bus.flow_summary(),
+            transactions=self.protocol.bus.transaction_summary(),
         )
 
     # ------------------------------------------------------------------

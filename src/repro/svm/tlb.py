@@ -51,6 +51,13 @@ class TLB:
     def has_write(self, vpn: int) -> bool:
         return self._entries.get(vpn) == MapMode.WRITE
 
+    def mapped_vpns(self) -> tuple[int, ...]:
+        """Snapshot of the currently mapped page numbers.
+
+        A tuple, so callers can invalidate while iterating.
+        """
+        return tuple(self._entries)
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -1,10 +1,11 @@
-"""First-class protocol tracing.
+"""First-class protocol tracing, as a message-bus tap.
 
 Attach a :class:`ProtocolTracer` to a runtime before running and every
 protocol-level event — faults, grants, release rounds, invalidations,
-TLB shootdowns, diffs — is recorded with its simulated time and the
-page's state snapshot.  The traces that debugged this reproduction's
-protocol races (DESIGN.md notes 6-8) were exactly these.
+TLB shootdowns, diffs — is recorded with its simulated time, its
+transaction id, and the page's state snapshot.  The traces that debugged
+this reproduction's protocol races (DESIGN.md notes 6-8) were exactly
+these.
 
 Example::
 
@@ -12,9 +13,12 @@ Example::
     tracer = ProtocolTracer(rt, pages=[vpn])   # or pages=None for all
     ... build and run ...
     print(tracer.render())
+    print(tracer.render_transactions())        # grouped by fault/release
 
-Tracing wraps engine methods at attach time and is zero-cost when not
-attached.
+The tracer never wraps a method: it is nothing but a pair of
+:class:`~repro.core.bus.MessageBus` taps (one for delivered messages, one
+for transaction begin/end), so it observes exactly the typed messages the
+engines exchange and is zero-cost when not attached.
 """
 
 from __future__ import annotations
@@ -22,12 +26,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
+from repro.core.bus import Transaction
+from repro.core.messages import Inv, MsgType, ProtocolMessage
 from repro.core.page import FrameState
 
 if TYPE_CHECKING:
     from repro.runtime import Runtime
 
 __all__ = ["TraceEvent", "ProtocolTracer"]
+
+#: trace-event kind for each wire label; labels not listed trace as
+#: themselves (PINV_ACK, UPGRADE, UP_ACK, RACK, WNOTIFY, 1W_UNLOCK)
+KIND_BY_LABEL = {
+    MsgType.RREQ.value: "REQ",
+    MsgType.WREQ.value: "REQ",
+    MsgType.RDAT.value: "GRANT",
+    MsgType.WDAT.value: "GRANT",
+    MsgType.REL.value: "REL",
+    MsgType.INV.value: "INVAL",
+    MsgType.ONE_WINV.value: "INVAL",
+    MsgType.ACK.value: "RESP",
+    MsgType.DIFF.value: "RESP",
+    MsgType.ONE_WDATA.value: "RESP",
+    MsgType.PINV.value: "PINV",
+}
 
 
 @dataclass
@@ -39,9 +61,34 @@ class TraceEvent:
     kind: str
     detail: str
     snapshot: str
+    txn: int = -1
 
     def __str__(self) -> str:
-        return f"[{self.time:>12,}] vpn={self.vpn:#x} {self.kind:<10} {self.detail}  |  {self.snapshot}"
+        return (
+            f"[{self.time:>12,}] t{self.txn:<4} vpn={self.vpn:#x} "
+            f"{self.kind:<10} {self.detail}  |  {self.snapshot}"
+        )
+
+
+def _detail(msg: ProtocolMessage, kind: str) -> str:
+    if kind == "REQ":
+        return f"{msg.label} cluster {msg.src_cluster}"
+    if kind == "GRANT":
+        return f"{msg.label} -> cluster {msg.dst_cluster}"
+    if kind == "REL":
+        return f"cluster {msg.src_cluster} proc {msg.src_pid}"
+    if kind == "INVAL":
+        detail = f"cluster {msg.dst_cluster} kind={msg.kind}"
+        if isinstance(msg, Inv) and msg.recall:
+            detail += " recall"
+        return detail
+    if kind == "RESP":
+        return f"{msg.label} from cluster {msg.src_cluster}"
+    if kind == "PINV":
+        return f"proc {msg.dst_pid}"
+    if kind == "UPGRADE":
+        return f"cluster {msg.src_cluster} proc {msg.src_pid}"
+    return msg.describe()
 
 
 class ProtocolTracer:
@@ -51,7 +98,11 @@ class ProtocolTracer:
         self.rt = rt
         self.pages = set(pages) if pages is not None else None
         self.events: list[TraceEvent] = []
-        self._attach()
+        #: completed fault/release transactions, in completion order
+        self.transactions: list[Transaction] = []
+        bus = rt.protocol.bus
+        bus.add_tap(self._on_message)
+        bus.add_txn_tap(self._on_txn)
 
     # ------------------------------------------------------------------
 
@@ -84,7 +135,7 @@ class ProtocolTracer:
             )
         return " ".join(parts)
 
-    def _record(self, vpn: int, kind: str, detail: str) -> None:
+    def _record(self, vpn: int, kind: str, detail: str, txn: int) -> None:
         if not self._want(vpn):
             return
         self.events.append(
@@ -94,44 +145,21 @@ class ProtocolTracer:
                 kind=kind,
                 detail=detail,
                 snapshot=self._snapshot(vpn),
+                txn=txn,
             )
         )
 
-    def _attach(self) -> None:
-        protocol = self.rt.protocol
-        local, remote, server = protocol.local, protocol.remote, protocol.server
-        tracer = self
+    # -- bus taps ------------------------------------------------------
 
-        def wrap(obj, name, describe):
-            original = getattr(obj, name)
+    def _on_message(self, msg: ProtocolMessage, sent_at: int, now: int) -> None:
+        kind = KIND_BY_LABEL.get(msg.label, msg.label)
+        self._record(msg.vpn, kind, _detail(msg, kind), msg.txn)
 
-            def wrapper(*args, **kwargs):
-                info = describe(*args, **kwargs)
-                if info is not None:
-                    tracer._record(*info)
-                return original(*args, **kwargs)
-
-            setattr(obj, name, wrapper)
-
-        wrap(local, "fault", lambda pid, vpn, w, cb: (
-            vpn, "FAULT", f"proc {pid} {'write' if w else 'read'}"))
-        wrap(local, "on_data", lambda vpn, cl, pid, payload, w: (
-            vpn, "GRANT", f"{'WDAT' if w else 'RDAT'} -> cluster {cl}"))
-        wrap(local, "on_rack", lambda pid, cb: None)
-        wrap(remote, "on_upgrade", lambda vpn, cl, pid, cb: (
-            vpn, "UPGRADE", f"cluster {cl} proc {pid}"))
-        wrap(remote, "start_inval", lambda frame, kind: (
-            frame.vpn, "INVAL", f"cluster {frame.cluster} kind={kind}"))
-        wrap(remote, "on_pinv", lambda frame, pid: (
-            frame.vpn, "PINV", f"proc {pid}"))
-        wrap(server, "on_request", lambda vpn, cl, pid, w: (
-            vpn, "REQ", f"{'WREQ' if w else 'RREQ'} cluster {cl}"))
-        wrap(server, "on_rel", lambda vpn, cl, pid, cb: (
-            vpn, "REL", f"cluster {cl} proc {pid}"))
-        wrap(server, "on_inval_response", lambda vpn, cl, payload: (
-            vpn, "RESP", f"{payload[0]} from cluster {cl}"))
-        wrap(server, "on_wnotify", lambda vpn, cl: (
-            vpn, "WNOTIFY", f"cluster {cl}"))
+    def _on_txn(self, phase: str, rec: Transaction) -> None:
+        if phase == "begin" and rec.kind == "fault":
+            self._record(rec.vpn, "FAULT", f"proc {rec.pid} {rec.note}", rec.txn)
+        elif phase == "end":
+            self.transactions.append(rec)
 
     # ------------------------------------------------------------------
 
@@ -149,6 +177,40 @@ class ProtocolTracer:
         lines = [str(e) for e in events]
         if limit is not None and len(self.events) > limit:
             lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)
+
+    def render_transactions(self, limit: int | None = None) -> str:
+        """Events grouped under the fault/release transaction they serve.
+
+        One header per completed transaction (kind, processor, latency,
+        message count), followed by that transaction's traced events in
+        time order.  Events carrying no transaction id (``txn == -1``)
+        are grouped under an "untracked" trailer.
+        """
+        by_txn: dict[int, list[TraceEvent]] = {}
+        for event in self.events:
+            by_txn.setdefault(event.txn, []).append(event)
+        lines: list[str] = []
+        txns = self.transactions if limit is None else self.transactions[:limit]
+        for rec in txns:
+            vpn = f" vpn={rec.vpn:#x}" if rec.vpn >= 0 else ""
+            note = f" ({rec.note})" if rec.note else ""
+            lines.append(
+                f"txn {rec.txn}: {rec.kind}{note} proc {rec.pid}{vpn} "
+                f"start={rec.start:,} latency={rec.latency:,} "
+                f"messages={rec.messages}"
+            )
+            for event in by_txn.pop(rec.txn, []):
+                lines.append(f"  {event}")
+        if limit is not None and len(self.transactions) > limit:
+            lines.append(
+                f"... {len(self.transactions) - limit} more transactions"
+            )
+        stray = by_txn.pop(-1, None)
+        if stray and limit is None:
+            lines.append(f"untracked ({len(stray)} events)")
+            for event in stray:
+                lines.append(f"  {event}")
         return "\n".join(lines)
 
     def __len__(self) -> int:

@@ -1,0 +1,58 @@
+"""Golden cycle-count equivalence for the Figure 6 Jacobi curve.
+
+The typed message bus must be a pure refactor of the hand-wired callback
+sends: one simulator event per message, identical labels, identical wire
+sizes.  These totals were captured from the pre-bus protocol engines on
+the default cost model (8 processors, 32x32 Jacobi, 3 iterations,
+1000-cycle inter-SSMP delay) for all three external interconnect models.
+Any drift — an extra event, a changed size, a reordered send — shifts
+them and fails this test.
+"""
+
+import pytest
+
+from repro.apps import jacobi
+from repro.apps.jacobi import JacobiParams
+from repro.params import MachineConfig, NetworkConfig
+
+#: network -> cluster size -> (total_time, inter_ssmp, intra_ssmp msgs)
+GOLDEN = {
+    "fixed": {
+        1: (626440, 182, 286),
+        2: (601144, 78, 286),
+        4: (599158, 26, 286),
+        8: (518234, 0, 0),
+    },
+    "bus": {
+        1: (635575, 182, 286),
+        2: (610710, 78, 286),
+        4: (603340, 26, 286),
+        8: (518234, 0, 0),
+    },
+    "fabric": {
+        1: (627900, 182, 286),
+        2: (602216, 78, 286),
+        4: (600172, 26, 286),
+        8: (518234, 0, 0),
+    },
+}
+
+
+@pytest.mark.parametrize("network", sorted(GOLDEN))
+def test_jacobi_figure6_curve_is_bit_for_bit(network):
+    for cluster_size, expected in GOLDEN[network].items():
+        config = MachineConfig(
+            total_processors=8,
+            cluster_size=cluster_size,
+            network=NetworkConfig(external=network),
+        )
+        run = jacobi.run(config, JacobiParams(n=32, iterations=3))
+        run.require_valid()
+        measured = (
+            run.result.total_time,
+            run.result.messages_inter_ssmp,
+            run.result.messages_intra_ssmp,
+        )
+        assert measured == expected, (
+            f"{network} C={cluster_size}: {measured} != golden {expected}"
+        )

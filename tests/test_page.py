@@ -1,7 +1,6 @@
 """Unit and property tests for page frames, twins, diffs, and merges."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -21,7 +21,6 @@ def make_rt(page_size=1024, delay=500):
 
 def test_release_drains_duq_serially_in_fifo_order():
     rt, arr = make_rt()
-    wpp = rt.config.words_per_page
     order = []
     # Proc 2 (cluster 1) dirties three pages in a known order.
     for page in (2, 0, 1):
@@ -31,21 +30,17 @@ def test_release_drains_duq_serially_in_fifo_order():
         rt.sim.run(max_events=100_000)
         assert done
 
-    from repro.core import server as srv
-    original = srv.Server.on_rel
+    base_vpn = arr.base // rt.config.page_size
 
-    def spy(self, vpn, cluster, pid, cb):
-        order.append(vpn - arr.base // rt.config.page_size)
-        return original(self, vpn, cluster, pid, cb)
+    def tap(msg, sent_at, now):
+        if msg.label == "REL":
+            order.append(msg.vpn - base_vpn)
 
-    try:
-        srv.Server.on_rel = spy
-        done = []
-        rt.protocol.release(2, lambda: done.append(1))
-        rt.sim.run(max_events=200_000)
-        assert done
-    finally:
-        srv.Server.on_rel = original
+    rt.protocol.bus.add_tap(tap)
+    done = []
+    rt.protocol.release(2, lambda: done.append(1))
+    rt.sim.run(max_events=200_000)
+    assert done
     assert order == [2, 0, 1]  # FIFO: the order the pages were dirtied
 
 

@@ -9,7 +9,7 @@ home-cluster aliases.
 import numpy as np
 
 from repro.core.page import FrameState
-from repro.params import MachineConfig, ProtocolOptions
+from repro.params import MachineConfig
 from repro.runtime import Runtime
 
 

@@ -32,7 +32,9 @@ def run_counter_stress(
     wpp = config.words_per_page
     arr = rt.array("acc", npages * wpp, home=lambda pg: (pg * 3) % total)
     arr.init([0.0] * (npages * wpp))
-    locks = [rt.create_lock(home_cluster=k % config.num_clusters) for k in range(npages)]
+    locks = [
+        rt.create_lock(home_cluster=k % config.num_clusters) for k in range(npages)
+    ]
 
     def worker(env):
         for it in range(iters):

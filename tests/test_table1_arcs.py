@@ -223,7 +223,6 @@ class TestServerArcs:
     def test_arc22_requests_queued_during_release(self, rig):
         """RREQ during REL_IN_PROG: rd += {src}, served at completion."""
         rt, vpn = rig
-        config = rt.config
         rt2_delay = MachineConfig(
             total_processors=6, cluster_size=2, inter_ssmp_delay=2000
         )

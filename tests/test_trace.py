@@ -60,3 +60,51 @@ def test_events_are_time_ordered():
     tracer, _ = run_traced()
     times = [e.time for e in tracer.events]
     assert times == sorted(times)
+
+
+def test_events_carry_transaction_ids():
+    tracer, vpn0 = run_traced()
+    faults = tracer.filter(kind="FAULT")
+    assert faults and all(e.txn >= 0 for e in faults)
+    grants = tracer.filter(kind="GRANT")
+    assert grants and all(e.txn >= 0 for e in grants)
+
+
+def test_render_transactions_groups_by_txn():
+    tracer, vpn0 = run_traced()
+    assert tracer.transactions, "no completed transactions recorded"
+    text = tracer.render_transactions()
+    assert "txn 0:" in text
+    assert "fault" in text
+    assert "release" in text
+    assert "latency=" in text
+    limited = tracer.render_transactions(limit=1)
+    assert "more transactions" in limited
+
+
+def test_tracer_is_a_pure_tap():
+    """Attaching a tracer must not change simulated timing."""
+    from repro.params import MachineConfig
+    from repro.runtime import Runtime
+
+    def run(traced):
+        config = MachineConfig(total_processors=4, cluster_size=2,
+                               inter_ssmp_delay=500)
+        rt = Runtime(config)
+        arr = rt.array("a", config.words_per_page, home=0)
+        arr.init([0.0] * config.words_per_page)
+        tracer = ProtocolTracer(rt) if traced else None
+
+        def worker(env):
+            v = yield from env.read(arr.addr(0))
+            yield from env.write(arr.addr(env.pid), v + 1.0)
+            yield from env.barrier()
+
+        rt.spawn_all(worker)
+        result = rt.run()
+        return result.total_time, tracer
+
+    untraced_time, _ = run(False)
+    traced_time, tracer = run(True)
+    assert traced_time == untraced_time
+    assert len(tracer) > 0
