@@ -1,0 +1,26 @@
+"""Repo-wide pytest configuration.
+
+Adds the shared ``--jobs`` option: benchmark sweeps — and anything else
+that resolves its worker count through
+:func:`repro.bench.parallel.resolve_jobs` — fan out to that many worker
+processes.  Results are byte-identical at any job count; only the
+wall-clock changes.
+"""
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for repro sweeps (sets REPRO_JOBS; 0 = all cores)",
+    )
+
+
+def pytest_configure(config):
+    jobs = config.getoption("--jobs")
+    if jobs is not None:
+        os.environ["REPRO_JOBS"] = str(jobs)

@@ -85,6 +85,9 @@ def page_home_block(
 
 
 def make_runtime(
-    config: MachineConfig, costs: CostModel | None = None, quantum: int = 1500
+    config: MachineConfig,
+    costs: CostModel | None = None,
+    quantum: int = 1500,
+    fastpath: bool | None = None,
 ) -> Runtime:
-    return Runtime(config, costs, quantum)
+    return Runtime(config, costs, quantum, fastpath=fastpath)

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.apps.common import AppRun, block_range, make_runtime
-from repro.params import CostModel, MachineConfig
+from repro.params import WORD_BYTES, CostModel, MachineConfig
 from repro.runtime import Runtime
 
 __all__ = ["JacobiParams", "golden", "build", "run"]
@@ -89,11 +89,19 @@ def build(rt: Runtime, params: JacobiParams):
                     continue
                 # Row-local reads hit the cache; boundary rows of the
                 # neighbouring workers are the only remote traffic.
+                row = src.addr(i * n)
+                north_off = row - n * WORD_BYTES
+                south_off = row + n * WORD_BYTES
                 for j in range(1, n - 1):
-                    north = yield from env.read(src.addr((i - 1) * n + j))
-                    south = yield from env.read(src.addr((i + 1) * n + j))
-                    west = yield from env.read(src.addr(i * n + j - 1))
-                    east = yield from env.read(src.addr(i * n + j + 1))
+                    jb = j * WORD_BYTES
+                    north, south, west, east = yield from env.read_many(
+                        (
+                            north_off + jb,
+                            south_off + jb,
+                            row + jb - WORD_BYTES,
+                            row + jb + WORD_BYTES,
+                        )
+                    )
                     yield from env.compute(params.compute_per_point)
                     yield from env.write(
                         dst.addr(i * n + j), 0.25 * (north + south + west + east)

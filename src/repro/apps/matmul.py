@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.apps.common import AppRun, block_range, make_runtime
-from repro.params import CostModel, MachineConfig
+from repro.params import WORD_BYTES, CostModel, MachineConfig
 from repro.runtime import Runtime
 
 __all__ = ["MatmulParams", "golden", "build", "run"]
@@ -70,12 +70,16 @@ def build(rt: Runtime, params: MatmulParams):
 
     def worker(env):
         rows = block_range(n, nprocs, env.pid)
+        b_stride = n * WORD_BYTES
         for i in rows:
+            a_base = arr_a.addr(i * row_stride)
             for j in range(n):
                 acc = 0.0
+                b_addr = arr_b.addr(j)
                 for k in range(n):
-                    a = yield from env.read(arr_a.addr(i * row_stride + k))
-                    b = yield from env.read(arr_b.addr(k * n + j))
+                    a, b = yield from env.read_many(
+                        (a_base + k * WORD_BYTES, b_addr + k * b_stride)
+                    )
                     acc += a * b
                     yield from env.compute(params.compute_per_mac)
                 yield from env.write(arr_c.addr(i * row_stride + j), acc)

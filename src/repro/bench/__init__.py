@@ -2,6 +2,7 @@
 
 from repro.bench.figures import FIGURES, bench_params, figure_report, run_figure
 from repro.bench.micro import MicroCosts, measure_micro_costs
+from repro.bench.parallel import parallel_map, resolve_jobs, run_figures
 from repro.bench.report import (
     render_breakdown_figure,
     render_lock_figure,
@@ -18,7 +19,10 @@ __all__ = [
     "bench_params",
     "figure_report",
     "run_figure",
+    "run_figures",
     "run_sweep",
+    "parallel_map",
+    "resolve_jobs",
     "scale_factor",
     "default_config",
     "render_breakdown_figure",

@@ -78,9 +78,17 @@ def bench_params(app: str, scale: int | None = None) -> Any:
 
 
 def run_figure(
-    key: str, total_processors: int = 32, network: "NetworkConfig | None" = None
+    key: str,
+    total_processors: int = 32,
+    network: "NetworkConfig | None" = None,
+    jobs: int | None = None,
 ) -> ClusterSweep:
-    """Run the full cluster-size sweep behind one figure."""
+    """Run the full cluster-size sweep behind one figure.
+
+    ``jobs`` farms cluster-size points to worker processes (see
+    :func:`repro.bench.sweep.run_sweep`); the sweep is byte-identical
+    at any job count.
+    """
     spec = FIGURES[key]
     params = bench_params(spec.app)
     return run_sweep(
@@ -89,6 +97,7 @@ def run_figure(
         total_processors=total_processors,
         name=spec.app,
         network=network,
+        jobs=jobs,
     )
 
 

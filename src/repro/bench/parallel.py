@@ -1,0 +1,108 @@
+"""Parallel benchmark driver: farm independent simulations to processes.
+
+Every simulated point — one ``(app, cluster size)`` pair — is a closed,
+deterministic universe: it shares no state with any other point, and its
+result depends only on its arguments.  That makes the figure sweeps
+embarrassingly parallel, so this module fans them out to worker
+processes while keeping the *output* exactly what the serial loop
+produces: workers are mapped over the points in order and results are
+collected in input order, so a parallel sweep is byte-identical to a
+serial one (pinned by ``tests/test_parallel.py``).
+
+Job count resolution, lowest priority last:
+
+1. an explicit ``jobs=`` argument (CLI ``--jobs``, pytest ``--jobs``);
+2. the ``REPRO_JOBS`` environment variable;
+3. serial (1).
+
+``jobs=0`` (or ``REPRO_JOBS=0``) means "all cores".  The pool uses the
+``fork`` start method where available so workers inherit ``sys.path``
+and loaded modules; on platforms without ``fork`` the default start
+method is used and arguments travel by pickle (everything passed here —
+app parameter dataclasses, configs, result dataclasses — is picklable).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
+
+__all__ = ["resolve_jobs", "parallel_map", "run_figures"]
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Number of worker processes to use (see module docstring)."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            warnings.warn(
+                f"ignoring malformed REPRO_JOBS={raw!r} (want an integer); "
+                "running serial",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _call(payload: tuple) -> Any:
+    fn, args = payload
+    return fn(*args)
+
+
+def parallel_map(
+    fn: Callable[..., Any], arg_tuples: Sequence[tuple], jobs: int | None = None
+) -> list[Any]:
+    """``[fn(*args) for args in arg_tuples]`` over worker processes.
+
+    Results come back in input order regardless of completion order, so
+    callers see exactly the serial result list.  ``fn`` must be a
+    module-level function (workers import it by reference).  With one
+    job or one item this is the plain list comprehension — no pool, no
+    pickling.
+    """
+    items = list(arg_tuples)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(*args) for args in items]
+    if "fork" in mp.get_all_start_methods():
+        ctx = mp.get_context("fork")
+    else:  # pragma: no cover - platform-dependent
+        ctx = mp.get_context()
+    workers = min(jobs, len(items))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+        return list(pool.map(_call, [(fn, args) for args in items]))
+
+
+def _figure_job(key: str, total_processors: int, network):
+    from repro.bench.figures import run_figure
+
+    # Each worker runs its whole figure serially; parallelism is across
+    # figures here.
+    return run_figure(key, total_processors, network, jobs=1)
+
+
+def run_figures(
+    keys: Sequence[str],
+    total_processors: int = 32,
+    network=None,
+    jobs: int | None = None,
+) -> list[tuple[str, Any]]:
+    """Run several whole figures, one worker per figure.
+
+    Returns ``[(key, ClusterSweep), ...]`` in the order of ``keys`` —
+    the same sweeps ``run_figure`` produces one at a time.
+    """
+    sweeps = parallel_map(
+        _figure_job, [(key, total_processors, network) for key in keys], jobs
+    )
+    return list(zip(keys, sweeps))

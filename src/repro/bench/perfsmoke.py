@@ -1,0 +1,260 @@
+"""Performance smoke harness: guards the simulator's throughput.
+
+Runs a small fixed workload set, reports wall-clock and events/sec, and
+writes ``BENCH_perfsmoke.json``.  CI replays it against the committed
+baseline and fails if throughput regresses by more than 30% — the repo's
+"as fast as the hardware allows" north star, made enforceable.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.perfsmoke            # measure
+    PYTHONPATH=src python -m repro.bench.perfsmoke --quick    # fewer reps
+    PYTHONPATH=src python -m repro.bench.perfsmoke --check BENCH_perfsmoke.json
+
+Workloads:
+
+* ``hit_block`` — the hit-dominated inner loop: every processor streams
+  ``read_block`` over its own resident buffer.  Measured with the
+  fast-path access engine on and off (``speedup_fastpath`` is the
+  headline number for the hot-path engine).
+* ``jacobi`` — one Figure 6 point (remote-miss heavy, protocol-bound):
+  the end-to-end shape the figure suite stresses.
+* ``sweep`` — a small Jacobi cluster-size sweep, serial and with two
+  worker processes; the harness asserts both are byte-identical before
+  recording anything.
+
+Every run cross-checks fast-vs-slow cycle counts, so the perf smoke is
+also a determinism smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.apps import jacobi
+from repro.bench.sweep import run_sweep
+from repro.params import MachineConfig
+from repro.runtime import Runtime
+
+__all__ = ["run_perfsmoke", "check_against_baseline", "main"]
+
+#: bump when workloads change incompatibly (baselines stop comparing)
+SCHEMA = 1
+
+#: CI fails when events/sec drops below baseline * (1 - TOLERANCE)
+TOLERANCE = 0.30
+
+
+def _hit_block_runtime(fastpath: bool, nwords: int, passes: int) -> Runtime:
+    config = MachineConfig(total_processors=4, cluster_size=2)
+    rt = Runtime(config, fastpath=fastpath)
+    arr = rt.array("buf", nwords * config.total_processors)
+    arr.init([float(i) for i in range(nwords * config.total_processors)])
+
+    def worker(env):
+        base = arr.addr(env.pid * nwords)
+        for _ in range(passes):
+            yield from env.read_block(base, nwords)
+        yield from env.barrier()
+
+    rt.spawn_all(worker)
+    return rt
+
+
+def _bench_hit_block(fastpath: bool, nwords: int, passes: int) -> dict:
+    rt = _hit_block_runtime(fastpath, nwords, passes)
+    words = nwords * passes * rt.config.total_processors
+    t0 = time.perf_counter()
+    result = rt.run()
+    seconds = time.perf_counter() - t0
+    return {
+        "seconds": round(seconds, 4),
+        "words": words,
+        "words_per_sec": round(words / seconds),
+        "events_per_sec": round(rt.sim.events_processed / seconds),
+        "total_time": result.total_time,
+        "cache_stats": dict(result.cache_stats),
+    }
+
+
+def _bench_jacobi(fastpath: bool, n: int, iterations: int) -> dict:
+    config = MachineConfig(total_processors=32, cluster_size=8)
+    params = jacobi.JacobiParams(n=n, iterations=iterations)
+    rt = jacobi.make_runtime(config, fastpath=fastpath)
+    final = jacobi.build(rt, params)
+    t0 = time.perf_counter()
+    result = rt.run()
+    seconds = time.perf_counter() - t0
+    del final
+    return {
+        "seconds": round(seconds, 4),
+        "events": rt.sim.events_processed,
+        "events_per_sec": round(rt.sim.events_processed / seconds),
+        "total_time": result.total_time,
+    }
+
+
+def _bench_sweep(n: int, iterations: int) -> dict:
+    params = jacobi.JacobiParams(n=n, iterations=iterations)
+    t0 = time.perf_counter()
+    serial = run_sweep(jacobi, params=params, total_processors=8, jobs=1)
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_sweep(jacobi, params=params, total_processors=8, jobs=2)
+    t_parallel = time.perf_counter() - t0
+    if dataclasses.asdict(serial) != dataclasses.asdict(parallel):
+        raise AssertionError("parallel sweep diverged from serial sweep")
+    return {
+        "serial_seconds": round(t_serial, 4),
+        "parallel_seconds": round(t_parallel, 4),
+        "identical": True,
+        "total_times": [p.total_time for p in serial.points],
+    }
+
+
+def run_perfsmoke(quick: bool = False) -> dict:
+    """Measure the workload set and return the report dict."""
+    if quick:
+        nwords, passes, jn, jit = 2048, 8, 32, 3
+    else:
+        nwords, passes, jn, jit = 4096, 30, 64, 10
+
+    hit_fast = _bench_hit_block(True, nwords, passes)
+    hit_slow = _bench_hit_block(False, nwords, passes)
+    if (hit_fast["total_time"], hit_fast["cache_stats"]) != (
+        hit_slow["total_time"],
+        hit_slow["cache_stats"],
+    ):
+        raise AssertionError("fastpath diverged from slow path (hit_block)")
+
+    jac_fast = _bench_jacobi(True, jn, jit)
+    jac_slow = _bench_jacobi(False, jn, jit)
+    if jac_fast["total_time"] != jac_slow["total_time"]:
+        raise AssertionError("fastpath diverged from slow path (jacobi)")
+
+    sweep = _bench_sweep(32, 3)
+
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "benchmarks": {
+            "hit_block_fast": hit_fast,
+            "hit_block_slow": hit_slow,
+            "jacobi_fast": jac_fast,
+            "jacobi_slow": jac_slow,
+            "sweep": sweep,
+        },
+        "speedups": {
+            "hit_block_fastpath": round(
+                hit_slow["seconds"] / hit_fast["seconds"], 2
+            ),
+            "jacobi_fastpath": round(
+                jac_slow["seconds"] / jac_fast["seconds"], 2
+            ),
+        },
+    }
+
+
+#: (benchmark, throughput metric) pairs the baseline check gates on
+_GATED = [
+    ("hit_block_fast", "words_per_sec"),
+    ("jacobi_fast", "events_per_sec"),
+]
+
+
+def check_against_baseline(report: dict, baseline: dict) -> list[str]:
+    """Regressions >30% vs the baseline; empty list means pass."""
+    failures = []
+    if baseline.get("schema") != report.get("schema"):
+        return [
+            f"baseline schema {baseline.get('schema')} != {report.get('schema')}; "
+            "re-measure the baseline"
+        ]
+    if baseline.get("quick") != report.get("quick"):
+        return [
+            "baseline and report use different workload sizes "
+            "(--quick mismatch); throughput is not comparable"
+        ]
+    for bench, metric in _GATED:
+        old = baseline.get("benchmarks", {}).get(bench, {}).get(metric)
+        new = report.get("benchmarks", {}).get(bench, {}).get(metric)
+        if not old or not new:
+            continue
+        floor = old * (1.0 - TOLERANCE)
+        if new < floor:
+            failures.append(
+                f"{bench}.{metric} regressed: {new} < {floor:.0f} "
+                f"(baseline {old}, tolerance {TOLERANCE:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.perfsmoke", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller workloads (CI-friendly)"
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_perfsmoke.json",
+        metavar="PATH",
+        help="where to write the report (default BENCH_perfsmoke.json)",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline report; exit 1 on >30%% regression",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_perfsmoke(quick=args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    b = report["benchmarks"]
+    print(f"perfsmoke ({'quick' if args.quick else 'full'}):")
+    print(
+        f"  hit_block   fast {b['hit_block_fast']['seconds']:.3f}s"
+        f" ({b['hit_block_fast']['words_per_sec']:,} words/s)"
+        f"   slow {b['hit_block_slow']['seconds']:.3f}s"
+        f"   speedup {report['speedups']['hit_block_fastpath']}x"
+    )
+    print(
+        f"  jacobi      fast {b['jacobi_fast']['seconds']:.3f}s"
+        f" ({b['jacobi_fast']['events_per_sec']:,} events/s)"
+        f"   slow {b['jacobi_slow']['seconds']:.3f}s"
+        f"   speedup {report['speedups']['jacobi_fastpath']}x"
+    )
+    print(
+        f"  sweep       serial {b['sweep']['serial_seconds']:.3f}s"
+        f"   2 jobs {b['sweep']['parallel_seconds']:.3f}s   byte-identical"
+    )
+    print(f"  report -> {args.out}")
+
+    if args.check:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check_against_baseline(report, baseline)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"  baseline check vs {args.check}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import importlib
 import os
+import warnings
 from typing import Any
 
+from repro.bench.parallel import parallel_map, resolve_jobs
 from repro.metrics import ClusterSweep, SweepPoint, cluster_sizes
 from repro.params import CostModel, MachineConfig, NetworkConfig
 
@@ -13,9 +16,16 @@ __all__ = ["run_sweep", "scale_factor", "default_config"]
 
 def scale_factor() -> int:
     """Problem-size multiplier from the ``REPRO_SCALE`` env variable."""
+    raw = os.environ.get("REPRO_SCALE", "1")
     try:
-        return max(1, int(os.environ.get("REPRO_SCALE", "1")))
+        return max(1, int(raw))
     except ValueError:
+        warnings.warn(
+            f"ignoring malformed REPRO_SCALE={raw!r} (want an integer); "
+            "using scale 1",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return 1
 
 
@@ -32,6 +42,44 @@ def default_config(
     )
 
 
+def _sweep_point(
+    module_name: str,
+    params: Any,
+    total_processors: int,
+    cluster_size: int,
+    costs: CostModel | None,
+    inter_ssmp_delay: int,
+    network: NetworkConfig | None,
+    require_valid: bool,
+) -> tuple[str, SweepPoint]:
+    """Simulate one cluster-size point and fold it into a SweepPoint.
+
+    Module-level and addressed by module *name* so the parallel driver
+    can ship it to worker processes; the serial path runs the very same
+    function, which is what makes parallel output byte-identical.
+    """
+    app_module = importlib.import_module(module_name)
+    overrides: dict[str, Any] = {"inter_ssmp_delay": inter_ssmp_delay}
+    if network is not None:
+        overrides["network"] = network
+    config = default_config(cluster_size, total_processors, **overrides)
+    run = app_module.run(config, params, costs)
+    if require_valid:
+        run.require_valid()
+    return run.name, SweepPoint(
+        cluster_size=cluster_size,
+        total_time=run.total_time,
+        breakdown=run.result.breakdown(),
+        lock_hit_ratio=run.result.lock_stats.hit_ratio,
+        lock_acquires=run.result.lock_stats.acquires,
+        protocol_stats=run.result.protocol_stats,
+        messages_inter_ssmp=run.result.messages_inter_ssmp,
+        network=run.result.network_stats,
+        message_flows=run.result.message_flows,
+        transactions=run.result.transactions,
+    )
+
+
 def run_sweep(
     app_module: Any,
     params: Any = None,
@@ -42,41 +90,44 @@ def run_sweep(
     name: str | None = None,
     require_valid: bool = True,
     network: NetworkConfig | None = None,
+    jobs: int | None = None,
 ) -> ClusterSweep:
     """Run ``app_module.run`` at every cluster size and collect the curve.
 
     Every point validates the application output against its sequential
     golden run, so a sweep doubles as a protocol correctness check.
+
+    ``jobs`` farms the (independent) cluster-size points to worker
+    processes — default serial, or the ``REPRO_JOBS`` env variable; the
+    resulting sweep is byte-identical either way.
     """
     if sizes is None:
         sizes = cluster_sizes(total_processors)
-    points = []
-    app_name = name
-    for c in sizes:
-        overrides = {"inter_ssmp_delay": inter_ssmp_delay}
-        if network is not None:
-            overrides["network"] = network
-        config = default_config(c, total_processors, **overrides)
-        run = app_module.run(config, params, costs)
-        if require_valid:
-            run.require_valid()
-        app_name = app_name or run.name
-        points.append(
-            SweepPoint(
-                cluster_size=c,
-                total_time=run.total_time,
-                breakdown=run.result.breakdown(),
-                lock_hit_ratio=run.result.lock_stats.hit_ratio,
-                lock_acquires=run.result.lock_stats.acquires,
-                protocol_stats=run.result.protocol_stats,
-                messages_inter_ssmp=run.result.messages_inter_ssmp,
-                network=run.result.network_stats,
-                message_flows=run.result.message_flows,
-                transactions=run.result.transactions,
+    module_name = getattr(app_module, "__name__", str(app_module))
+    results = parallel_map(
+        _sweep_point,
+        [
+            (
+                module_name,
+                params,
+                total_processors,
+                c,
+                costs,
+                inter_ssmp_delay,
+                network,
+                require_valid,
             )
-        )
+            for c in sizes
+        ],
+        resolve_jobs(jobs),
+    )
+    app_name = name
+    points = []
+    for run_name, point in results:
+        app_name = app_name or run_name
+        points.append(point)
     return ClusterSweep(
-        app=app_name or getattr(app_module, "__name__", "app"),
+        app=app_name or module_name,
         total_processors=total_processors,
         points=points,
     )

@@ -26,7 +26,9 @@ from repro.bench import (
     render_lock_figure,
     render_table,
     render_table4,
+    resolve_jobs,
     run_figure,
+    run_figures,
     run_sweep,
     run_table4,
 )
@@ -154,8 +156,10 @@ def _print_transaction_stats(sweep) -> None:
             )
 
 
-def _fig11() -> str:
-    sweeps = [run_figure("fig8"), run_figure("fig9"), run_figure("fig10")]
+def _fig11(jobs: int = 1) -> str:
+    sweeps = [
+        sweep for _, sweep in run_figures(["fig8", "fig9", "fig10"], jobs=jobs)
+    ]
     return render_lock_figure(
         sweeps, "Figure 11: Hit rate for MGS lock vs cluster size"
     )
@@ -173,6 +177,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--processors", type=int, default=32, help="total processors (default 32)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweeps (default: REPRO_JOBS or 1; "
+        "0 means all cores); results are identical at any job count",
     )
     parser.add_argument(
         "--trace-pages",
@@ -193,9 +205,16 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
 
+    jobs = resolve_jobs(args.jobs)
     tracers: list = []
     hook = None
     if trace_pages is not False:
+        if jobs > 1:
+            print(
+                "--trace-pages needs in-process runs; ignoring --jobs",
+                file=sys.stderr,
+            )
+            jobs = 1
         from repro.runtime import Runtime
         from repro.trace import ProtocolTracer
 
@@ -205,7 +224,7 @@ def main(argv: list[str] | None = None) -> int:
         Runtime.construction_hooks.append(hook)
 
     try:
-        return _dispatch(parser, args, network)
+        return _dispatch(parser, args, network, jobs)
     finally:
         if hook is not None:
             Runtime.construction_hooks.remove(hook)
@@ -221,14 +240,14 @@ def main(argv: list[str] | None = None) -> int:
                 print(tracer.render_transactions(limit=50))
 
 
-def _dispatch(parser, args, network) -> int:
+def _dispatch(parser, args, network, jobs: int = 1) -> int:
     experiments = list(args.experiments)
     if experiments and experiments[0] == "sweep":
         if len(experiments) < 2 or experiments[1] not in ALL_APPS:
             parser.error(f"sweep needs an app name from {sorted(ALL_APPS)}")
         module = ALL_APPS[experiments[1]]
         sweep = run_sweep(
-            module, total_processors=args.processors, network=network
+            module, total_processors=args.processors, network=network, jobs=jobs
         )
         from repro.bench import render_breakdown_figure, render_metrics
 
@@ -242,6 +261,20 @@ def _dispatch(parser, args, network) -> int:
     if "all" in experiments:
         experiments = ["table3", "table4", *FIGURES, "fig11"]
 
+    # With workers available, farm whole figures out up front; the
+    # reports still print in the order the experiments were listed.
+    figure_keys = [exp for exp in experiments if exp in FIGURES]
+    sweeps: dict = {}
+    if jobs > 1 and len(figure_keys) > 1:
+        sweeps = dict(
+            run_figures(
+                figure_keys,
+                total_processors=args.processors,
+                network=network,
+                jobs=jobs,
+            )
+        )
+
     for exp in experiments:
         print(f"\n{'=' * 72}")
         if exp == "table3":
@@ -249,11 +282,16 @@ def _dispatch(parser, args, network) -> int:
         elif exp == "table4":
             print("Table 4\n\n" + render_table4(run_table4()))
         elif exp == "fig11":
-            print(_fig11())
+            print(_fig11(jobs))
         elif exp in FIGURES:
-            sweep = run_figure(
-                exp, total_processors=args.processors, network=network
-            )
+            sweep = sweeps.get(exp)
+            if sweep is None:
+                sweep = run_figure(
+                    exp,
+                    total_processors=args.processors,
+                    network=network,
+                    jobs=jobs,
+                )
             print(figure_report(exp, sweep))
             _print_network_stats(sweep)
             _print_transaction_stats(sweep)

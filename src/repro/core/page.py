@@ -50,7 +50,7 @@ class ServerState(enum.Enum):
     REL_IN_PROG = "REL_IN_PROG"
 
 
-@dataclass
+@dataclass(slots=True)
 class Waiter:
     """A processor blocked on a mapping fault for a page."""
 
@@ -61,7 +61,7 @@ class Waiter:
     txn: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class PageFrame:
     """One SSMP's replica of a virtual page."""
 
@@ -98,7 +98,7 @@ class PageFrame:
         return self.state in (FrameState.READ, FrameState.WRITE)
 
 
-@dataclass
+@dataclass(slots=True)
 class HomePage:
     """Server-side state for one virtual page at its home."""
 

@@ -27,6 +27,16 @@ caches were infinite); the paper's working sets at our scaled problem
 sizes fit comfortably in Alewife's 64 KB SRAM, and the effects the paper
 studies — false sharing and multigrain locality — come from coherence
 misses, which are modeled.
+
+Hot-path note: every simulated word access lands in :meth:`CacheSystem.
+access`, so the common case — a hit — is resolved with one dict probe and
+an inline privilege check before the full classify-and-update runs.
+Statistics live in a fixed-slot integer list indexed by ``AccessClass``
+position (no ``Counter``/enum hashing per access); the ``stats`` property
+rebuilds the Counter view for reporting.  ``record_hits`` lets the
+runtime's fast path (``repro.runtime.env``) account hits it proved
+without a directory probe; see ``docs/PERFORMANCE.md`` for why that is
+safe.
 """
 
 from __future__ import annotations
@@ -50,8 +60,17 @@ class AccessClass(enum.Enum):
     SOFTWARE = "software"
 
 
+#: definition-order view of the classes; slot ``i`` of the fixed counters
+#: counts ``_CLASSES[i]`` accesses
+_CLASSES = tuple(AccessClass)
+_IDX = {klass: i for i, klass in enumerate(_CLASSES)}
+_HIT = _IDX[AccessClass.HIT]
+
+
 class CacheSystem:
     """Per-cluster line directories with Table 3 cost classification."""
+
+    __slots__ = ("config", "costs", "_lines", "_counts", "_cost_of", "hit_cost")
 
     def __init__(self, config: MachineConfig, costs: CostModel) -> None:
         self.config = config
@@ -60,15 +79,68 @@ class CacheSystem:
         self._lines: list[dict[int, list]] = [
             {} for _ in range(config.num_clusters)
         ]
-        self.stats: Counter = Counter()
-        self._cost_of = {
-            AccessClass.HIT: costs.cache_hit,
-            AccessClass.LOCAL: costs.miss_local,
-            AccessClass.REMOTE: costs.miss_remote,
-            AccessClass.TWO_PARTY: costs.miss_2party,
-            AccessClass.THREE_PARTY: costs.miss_3party,
-            AccessClass.SOFTWARE: costs.miss_software_dir,
-        }
+        self._counts: list[int] = [0] * len(_CLASSES)
+        self._cost_of: list[int] = [
+            costs.cache_hit,
+            costs.miss_local,
+            costs.miss_remote,
+            costs.miss_2party,
+            costs.miss_3party,
+            costs.miss_software_dir,
+        ]
+        #: cost of a hit, exposed so the runtime fast path can charge it
+        #: without a method call
+        self.hit_cost = costs.cache_hit
+
+    @property
+    def stats(self) -> Counter:
+        """Access counts by :class:`AccessClass` (Counter view).
+
+        Only classes that occurred appear as keys, matching the behavior
+        of the per-access ``Counter`` this property replaced.
+        """
+        return Counter(
+            {klass: n for klass, n in zip(_CLASSES, self._counts) if n}
+        )
+
+    def hit_run(
+        self, cluster: int, pid: int, first_line: int, max_lines: int, is_write: bool
+    ) -> int:
+        """Longest run of consecutive lines from ``first_line`` that are
+        guaranteed hits for ``pid``.
+
+        A read-only probe — no directory update, no statistics.  The
+        runtime's batched fast paths use it to charge whole runs of hit
+        words in closed form; the caller accounts the hits itself (e.g.
+        via :meth:`record_hits`).
+        """
+        get = self._lines[cluster].get
+        n = 0
+        if is_write:
+            while n < max_lines:
+                state = get(first_line + n)
+                if state is None or state[0] != pid:
+                    break
+                n += 1
+        else:
+            while n < max_lines:
+                state = get(first_line + n)
+                if state is None:
+                    break
+                owner = state[0]
+                if owner != pid and (owner != -1 or pid not in state[1]):
+                    break
+                n += 1
+        return n
+
+    def record_hits(self, n: int) -> None:
+        """Account ``n`` hits classified outside the directory.
+
+        The runtime's fast path uses this for repeat accesses to the
+        line it touched last, which are hits by construction (the line
+        state cannot change while the thread runs uninterrupted).
+        """
+        self._counts[_HIT] += n
 
     def access(
         self, cluster: int, pid: int, line: int, is_write: bool, home_pid: int
@@ -83,15 +155,34 @@ class CacheSystem:
             is_write: store vs load.
             home_pid: processor whose memory hosts this cluster's frame.
         """
-        klass = self._classify_and_update(cluster, pid, line, is_write, home_pid)
-        self.stats[klass] += 1
-        return self._cost_of[klass]
-
-    def _classify_and_update(
-        self, cluster: int, pid: int, line: int, is_write: bool, home_pid: int
-    ) -> AccessClass:
         directory = self._lines[cluster]
         state = directory.get(line)
+        if state is not None:
+            # Inline hit check: sufficient privilege means no directory
+            # update, so the full classification can be skipped.
+            owner = state[0]
+            if (
+                owner == pid
+                if is_write
+                else owner == pid or (owner == -1 and pid in state[1])
+            ):
+                self._counts[_HIT] += 1
+                return self.hit_cost
+        klass = self._classify_and_update(
+            directory, state, pid, line, is_write, home_pid
+        )
+        self._counts[_IDX[klass]] += 1
+        return self._cost_of[_IDX[klass]]
+
+    def _classify_and_update(
+        self,
+        directory: dict[int, list],
+        state: list | None,
+        pid: int,
+        line: int,
+        is_write: bool,
+        home_pid: int,
+    ) -> AccessClass:
         if state is None:
             state = [-1, set()]
             directory[line] = state

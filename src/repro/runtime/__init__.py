@@ -1,7 +1,13 @@
 """Runtime: the programming API and thread driver for simulated apps."""
 
 from repro.runtime.env import Env
-from repro.runtime.runner import RunResult, Runtime
+from repro.runtime.runner import RunResult, Runtime, fastpath_enabled_default
 from repro.runtime.shared import SharedArray
 
-__all__ = ["Env", "Runtime", "RunResult", "SharedArray"]
+__all__ = [
+    "Env",
+    "Runtime",
+    "RunResult",
+    "SharedArray",
+    "fastpath_enabled_default",
+]

@@ -8,6 +8,7 @@ blocking operation is a sub-generator used with ``yield from``:
     def worker(env):
         value = yield from env.read(array.addr(i))
         yield from env.write(array.addr(j), value + 1.0)
+        values = yield from env.read_block(array.addr(k), 16)
         yield from env.lock(lk)
         ...
         yield from env.unlock(lk)
@@ -23,11 +24,37 @@ At cluster size C == P (``hardware_only``), MGS calls are nulled exactly
 as in the paper's 32-processor runs: accesses go straight to the home
 copy through hardware coherence, only the software-virtual-memory
 translation overhead remains, and release points flush nothing.
+
+Fast paths
+----------
+
+Word accesses dominate simulation wall-clock, so ``Env`` keeps a
+fast-path cache across the current uninterrupted execution burst: the
+pages it has resolved — ``vpn -> (frame data, write-ok, owner)`` — and
+the hardware cache lines it has read and written.  A repeat access to a
+resolved page skips the TLB and frame-dictionary probes; a repeat access
+to a known line skips the hardware directory entirely (it is a hit by
+construction).  The batched :meth:`Env.read_block` /
+:meth:`Env.write_block` / :meth:`Env.read_many` APIs additionally
+resolve a whole run of accesses inside one generator, eliminating the
+per-word sub-generator round trip.
+
+This is safe because thread execution between suspension points is
+atomic: no simulator event — and therefore no protocol action, TLB
+shootdown, or directory update by another processor — can run while the
+thread's generator is executing.  The cache is dropped at every
+suspension point (fault, pause, lock, unlock, barrier), so the fast
+paths charge exactly the cycles, update exactly the statistics, and
+suspend at exactly the times the slow paths do.  The contract is pinned
+bit-for-bit by ``tests/test_golden_equivalence.py``; set
+``REPRO_NO_FASTPATH=1`` (or ``Runtime(..., fastpath=False)``) to force
+the original one-access-at-a-time code paths.  See
+``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.params import WORD_BYTES
 from repro.svm import MapMode
@@ -41,7 +68,45 @@ __all__ = ["Env"]
 
 
 class Env:
-    """Per-thread view of the machine."""
+    """Per-thread view of the machine.
+
+    The memory operations (``read``, ``write``, ``read_block``,
+    ``write_block``, ``read_many``) are bound per instance: to the
+    fast-path implementations normally, or to the original slow paths
+    when the runtime was built with ``fastpath=False`` (e.g. via the
+    ``REPRO_NO_FASTPATH=1`` escape hatch).  Both produce bit-for-bit
+    identical simulations.
+    """
+
+    __slots__ = (
+        "_rt",
+        "_t",
+        "pid",
+        "cluster",
+        "nprocs",
+        "_page_size",
+        "_line_size",
+        "_quantum",
+        "_hw_only",
+        "_protocol",
+        "_cache",
+        "_cache_counts",
+        "_hit_cost",
+        "_tlb",
+        "_frames",
+        "_costs",
+        "_ta",
+        "_tp",
+        "_fp_pages",
+        "_fp_rlines",
+        "_fp_wlines",
+        # per-instance bindings (fast or slow implementation)
+        "read",
+        "write",
+        "read_block",
+        "write_block",
+        "read_many",
+    )
 
     def __init__(self, runtime: "Runtime", thread: "ThreadContext") -> None:
         self._rt = runtime
@@ -56,16 +121,439 @@ class Env:
         self._hw_only = config.hardware_only
         self._protocol = runtime.protocol
         self._cache = runtime.cache
+        self._cache_counts = runtime.cache._counts  # slot 0 counts hits
+        self._hit_cost = runtime.cache.hit_cost
         self._tlb = runtime.protocol.tlbs[self.pid]
         self._frames = runtime.protocol.frames[self.cluster]
         self._costs = runtime.costs
+        self._ta = self._costs.translate_array
+        self._tp = self._costs.translate_pointer
+        # Pages resolved this burst: vpn -> (frame data, write-ok, owner).
+        self._fp_pages: dict[int, tuple] = {}
+        # Hardware cache lines known to hit for reads / for writes.
+        self._fp_rlines: set[int] = set()
+        self._fp_wlines: set[int] = set()
+        if runtime.fastpath:
+            self.read = self._read_fast
+            self.write = self._write_fast
+            self.read_block = self._read_block_fast
+            self.write_block = self._write_block_fast
+            self.read_many = self._read_many_fast
+        else:
+            self.read = self._read_slow
+            self.write = self._write_slow
+            self.read_block = self._read_block_slow
+            self.write_block = self._write_block_slow
+            self.read_many = self._read_many_slow
 
     # ------------------------------------------------------------------
-    # memory operations
+    # fast-path cache maintenance
     # ------------------------------------------------------------------
 
-    def read(self, addr: int, ptr: bool = False):
+    def _fp_reset(self) -> None:
+        """Drop the fast-path cache.
+
+        Called after every suspension point: while the thread was
+        suspended, protocol handlers may have invalidated its TLB entry,
+        replaced the frame data, or changed hardware directory state.
+        Cleared in place so batched loops can hold direct references.
+        """
+        self._fp_pages.clear()
+        self._fp_rlines.clear()
+        self._fp_wlines.clear()
+
+    def _fp_load(self, vpn: int):
+        """Resolve ``vpn`` with read privilege; may yield mapping faults.
+
+        Returns and caches the ``(frame data, write-ok, owner)`` entry.
+        """
+        if self._hw_only:
+            data = self._hw_frame(vpn, self._t)
+            entry = (data, True, self._rt.aspace.home_proc(vpn))
+        else:
+            tlb = self._tlb
+            while tlb.lookup(vpn) is None:
+                yield ("fault", vpn, False)
+                self._fp_reset()
+            frame = self._frames[vpn]
+            entry = (frame.data, tlb.has_write(vpn), frame.owner_pid)
+        self._fp_pages[vpn] = entry
+        return entry
+
+    def _fp_load_write(self, vpn: int):
+        """Resolve ``vpn`` with write privilege; may yield mapping faults."""
+        if self._hw_only:
+            data = self._hw_frame(vpn, self._t)
+            entry = (data, True, self._rt.aspace.home_proc(vpn))
+        else:
+            tlb = self._tlb
+            while not tlb.has_write(vpn):
+                yield ("fault", vpn, True)
+                self._fp_reset()
+            frame = self._frames[vpn]
+            entry = (frame.data, True, frame.owner_pid)
+        self._fp_pages[vpn] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # memory operations — fast paths
+    # ------------------------------------------------------------------
+
+    def _read_fast(self, addr: int, ptr: bool = False):
         """Load one shared word.  Usage: ``v = yield from env.read(a)``."""
+        t = self._t
+        cost = self._tp if ptr else self._ta
+        t.time += cost
+        t.user += cost
+        entry = self._fp_pages.get(addr // self._page_size)
+        if entry is None:
+            entry = yield from self._fp_load(addr // self._page_size)
+        line = addr // self._line_size
+        if line in self._fp_wlines or line in self._fp_rlines:
+            self._cache_counts[0] += 1
+            cost = self._hit_cost
+        else:
+            cost = self._cache.access(
+                self.cluster, self.pid, line, False, entry[2]
+            )
+            self._fp_rlines.add(line)
+        t.time += cost
+        t.user += cost
+        if t.time - t.last_yield > self._quantum:
+            yield ("pause",)
+            self._fp_reset()
+        return float(entry[0][(addr % self._page_size) // WORD_BYTES])
+
+    def _write_fast(self, addr: int, value: float, ptr: bool = False):
+        """Store one shared word.  Usage: ``yield from env.write(a, v)``."""
+        t = self._t
+        cost = self._tp if ptr else self._ta
+        t.time += cost
+        t.user += cost
+        entry = self._fp_pages.get(addr // self._page_size)
+        if entry is None or not entry[1]:
+            entry = yield from self._fp_load_write(addr // self._page_size)
+        line = addr // self._line_size
+        if line in self._fp_wlines:
+            self._cache_counts[0] += 1
+            cost = self._hit_cost
+        else:
+            cost = self._cache.access(
+                self.cluster, self.pid, line, True, entry[2]
+            )
+            self._fp_wlines.add(line)
+        t.time += cost
+        t.user += cost
+        entry[0][(addr % self._page_size) // WORD_BYTES] = value
+        if t.time - t.last_yield > self._quantum:
+            yield ("pause",)
+            self._fp_reset()
+
+    def _read_many_fast(self, addrs: Iterable[int], ptr: bool = False):
+        """Load several shared words in one call.
+
+        Usage: ``a, b = yield from env.read_many((addr_a, addr_b))``.
+        Equivalent — cycle for cycle, fault for fault, pause for pause —
+        to a sequence of ``env.read`` calls over ``addrs``, but resolves
+        the whole run inside one generator.
+        """
+        t = self._t
+        pages = self._fp_pages
+        rlines = self._fp_rlines
+        wlines = self._fp_wlines
+        access = self._cache.access
+        counts = self._cache_counts
+        cluster = self.cluster
+        pid = self.pid
+        page_size = self._page_size
+        line_size = self._line_size
+        quantum = self._quantum
+        hit_cost = self._hit_cost
+        tcost = self._tp if ptr else self._ta
+        out = []
+        append = out.append
+        ttime = t.time
+        tuser = t.user
+        for addr in addrs:
+            ttime += tcost
+            tuser += tcost
+            entry = pages.get(addr // page_size)
+            if entry is None:
+                t.time = ttime
+                t.user = tuser
+                entry = yield from self._fp_load(addr // page_size)
+                ttime = t.time
+                tuser = t.user
+            line = addr // line_size
+            if line in wlines or line in rlines:
+                counts[0] += 1
+                ttime += hit_cost
+                tuser += hit_cost
+            else:
+                cost = access(cluster, pid, line, False, entry[2])
+                rlines.add(line)
+                ttime += cost
+                tuser += cost
+            if ttime - t.last_yield > quantum:
+                t.time = ttime
+                t.user = tuser
+                yield ("pause",)
+                self._fp_reset()
+                ttime = t.time
+                tuser = t.user
+            append(float(entry[0][(addr % page_size) // WORD_BYTES]))
+        t.time = ttime
+        t.user = tuser
+        return out
+
+    def _read_block_fast(self, addr: int, nwords: int, ptr: bool = False):
+        """Load ``nwords`` consecutive shared words starting at ``addr``.
+
+        Usage: ``row = yield from env.read_block(a.addr(i), n)``.
+        Equivalent to ``nwords`` sequential ``env.read`` calls, but
+        resolves whole runs of guaranteed-hit lines in closed form: one
+        directory probe (:meth:`CacheSystem.hit_run`), one aggregate
+        charge, one slice off the frame — instead of per-word work.
+        """
+        t = self._t
+        pages = self._fp_pages
+        rlines = self._fp_rlines
+        wlines = self._fp_wlines
+        access = self._cache.access
+        hit_run = self._cache.hit_run
+        counts = self._cache_counts
+        cluster = self.cluster
+        pid = self.pid
+        page_size = self._page_size
+        line_size = self._line_size
+        quantum = self._quantum
+        hit_cost = self._hit_cost
+        tcost = self._tp if ptr else self._ta
+        whit = tcost + hit_cost
+        out = []
+        append = out.append
+        extend = out.extend
+        ttime = t.time
+        tuser = t.user
+        end = addr + nwords * WORD_BYTES
+        while addr < end:
+            vpn = addr // page_size
+            entry = pages.get(vpn)
+            if entry is None:
+                # Unresolved page: translate is charged before any fault,
+                # exactly as the per-word path does.
+                ttime += tcost
+                tuser += tcost
+                t.time = ttime
+                t.user = tuser
+                entry = yield from self._fp_load(vpn)
+                ttime = t.time
+                tuser = t.user
+                data = entry[0]
+                line = addr // line_size
+                if line in wlines or line in rlines:
+                    counts[0] += 1
+                    ttime += hit_cost
+                    tuser += hit_cost
+                else:
+                    cost = access(cluster, pid, line, False, entry[2])
+                    rlines.add(line)
+                    ttime += cost
+                    tuser += cost
+                if ttime - t.last_yield > quantum:
+                    t.time = ttime
+                    t.user = tuser
+                    yield ("pause",)
+                    self._fp_reset()
+                    ttime = t.time
+                    tuser = t.user
+                append(float(data[(addr % page_size) // WORD_BYTES]))
+                addr += WORD_BYTES
+                continue
+            data = entry[0]
+            owner = entry[2]
+            page_end = (vpn + 1) * page_size
+            chunk_end = page_end if page_end < end else end
+            while addr < chunk_end:
+                line = addr // line_size
+                max_lines = (chunk_end - 1) // line_size - line + 1
+                nhit = hit_run(cluster, pid, line, max_lines, False)
+                if nhit == 0:
+                    # A genuine miss: classify, charge, move one word.
+                    cost = access(cluster, pid, line, False, owner)
+                    rlines.add(line)
+                    ttime += tcost + cost
+                    tuser += tcost + cost
+                    if ttime - t.last_yield > quantum:
+                        t.time = ttime
+                        t.user = tuser
+                        yield ("pause",)
+                        self._fp_reset()
+                        ttime = t.time
+                        tuser = t.user
+                        append(float(data[(addr % page_size) // WORD_BYTES]))
+                        addr += WORD_BYTES
+                        break  # page/directory knowledge is stale
+                    append(float(data[(addr % page_size) // WORD_BYTES]))
+                    addr += WORD_BYTES
+                    continue
+                # Guaranteed-hit run, cut short at the word whose charge
+                # crosses the quantum (that word reads after the pause,
+                # as the per-word path does).
+                run_end = (line + nhit) * line_size
+                if run_end > chunk_end:
+                    run_end = chunk_end
+                k = (run_end - addr) // WORD_BYTES
+                budget = t.last_yield + quantum - ttime
+                m = budget // whit + 1
+                if m >= k:
+                    m = k
+                    paused = k * whit > budget
+                else:
+                    paused = True
+                cost = m * whit
+                ttime += cost
+                tuser += cost
+                counts[0] += m
+                w0 = (addr % page_size) // WORD_BYTES
+                addr += m * WORD_BYTES
+                if paused:
+                    extend(data[w0 : w0 + m - 1].tolist())
+                    t.time = ttime
+                    t.user = tuser
+                    yield ("pause",)
+                    self._fp_reset()
+                    ttime = t.time
+                    tuser = t.user
+                    append(float(data[w0 + m - 1]))
+                    break  # page/directory knowledge is stale
+                extend(data[w0 : w0 + m].tolist())
+        t.time = ttime
+        t.user = tuser
+        return out
+
+    def _write_block_fast(
+        self, addr: int, values: Sequence[float], ptr: bool = False
+    ):
+        """Store consecutive shared words starting at ``addr``.
+
+        Usage: ``yield from env.write_block(a.addr(i), values)``.
+        Equivalent to sequential ``env.write`` calls over ``values``,
+        with the same closed-form hit-run batching as ``read_block``.
+        """
+        t = self._t
+        pages = self._fp_pages
+        wlines = self._fp_wlines
+        access = self._cache.access
+        hit_run = self._cache.hit_run
+        counts = self._cache_counts
+        cluster = self.cluster
+        pid = self.pid
+        page_size = self._page_size
+        line_size = self._line_size
+        quantum = self._quantum
+        hit_cost = self._hit_cost
+        tcost = self._tp if ptr else self._ta
+        whit = tcost + hit_cost
+        vi = 0
+        ttime = t.time
+        tuser = t.user
+        end = addr + len(values) * WORD_BYTES
+        while addr < end:
+            vpn = addr // page_size
+            entry = pages.get(vpn)
+            if entry is None or not entry[1]:
+                ttime += tcost
+                tuser += tcost
+                t.time = ttime
+                t.user = tuser
+                entry = yield from self._fp_load_write(vpn)
+                ttime = t.time
+                tuser = t.user
+                data = entry[0]
+                line = addr // line_size
+                if line in wlines:
+                    counts[0] += 1
+                    ttime += hit_cost
+                    tuser += hit_cost
+                else:
+                    cost = access(cluster, pid, line, True, entry[2])
+                    wlines.add(line)
+                    ttime += cost
+                    tuser += cost
+                data[(addr % page_size) // WORD_BYTES] = values[vi]
+                vi += 1
+                addr += WORD_BYTES
+                if ttime - t.last_yield > quantum:
+                    t.time = ttime
+                    t.user = tuser
+                    yield ("pause",)
+                    self._fp_reset()
+                    ttime = t.time
+                    tuser = t.user
+                continue
+            data = entry[0]
+            owner = entry[2]
+            page_end = (vpn + 1) * page_size
+            chunk_end = page_end if page_end < end else end
+            while addr < chunk_end:
+                line = addr // line_size
+                max_lines = (chunk_end - 1) // line_size - line + 1
+                nhit = hit_run(cluster, pid, line, max_lines, True)
+                if nhit == 0:
+                    cost = access(cluster, pid, line, True, owner)
+                    wlines.add(line)
+                    ttime += tcost + cost
+                    tuser += tcost + cost
+                    data[(addr % page_size) // WORD_BYTES] = values[vi]
+                    vi += 1
+                    addr += WORD_BYTES
+                    if ttime - t.last_yield > quantum:
+                        t.time = ttime
+                        t.user = tuser
+                        yield ("pause",)
+                        self._fp_reset()
+                        ttime = t.time
+                        tuser = t.user
+                        break  # page/directory knowledge is stale
+                    continue
+                run_end = (line + nhit) * line_size
+                if run_end > chunk_end:
+                    run_end = chunk_end
+                k = (run_end - addr) // WORD_BYTES
+                budget = t.last_yield + quantum - ttime
+                m = budget // whit + 1
+                if m >= k:
+                    m = k
+                    paused = k * whit > budget
+                else:
+                    paused = True
+                cost = m * whit
+                ttime += cost
+                tuser += cost
+                counts[0] += m
+                w0 = (addr % page_size) // WORD_BYTES
+                # Stores land before a pause, as the per-word path does.
+                data[w0 : w0 + m] = values[vi : vi + m]
+                vi += m
+                addr += m * WORD_BYTES
+                if paused:
+                    t.time = ttime
+                    t.user = tuser
+                    yield ("pause",)
+                    self._fp_reset()
+                    ttime = t.time
+                    tuser = t.user
+                    break  # page/directory knowledge is stale
+        t.time = ttime
+        t.user = tuser
+
+    # ------------------------------------------------------------------
+    # memory operations — slow paths (REPRO_NO_FASTPATH=1)
+    # ------------------------------------------------------------------
+
+    def _read_slow(self, addr: int, ptr: bool = False):
+        """Load one shared word (original one-access-at-a-time path)."""
         t = self._t
         costs = self._costs
         t.charge_user(costs.translate_pointer if ptr else costs.translate_array)
@@ -86,8 +574,8 @@ class Env:
             yield ("pause",)
         return float(data[(addr % self._page_size) // WORD_BYTES])
 
-    def write(self, addr: int, value: float, ptr: bool = False):
-        """Store one shared word.  Usage: ``yield from env.write(a, v)``."""
+    def _write_slow(self, addr: int, value: float, ptr: bool = False):
+        """Store one shared word (original one-access-at-a-time path)."""
         t = self._t
         costs = self._costs
         t.charge_user(costs.translate_pointer if ptr else costs.translate_array)
@@ -108,12 +596,38 @@ class Env:
         if t.time - t.last_yield > self._quantum:
             yield ("pause",)
 
+    def _read_many_slow(self, addrs: Iterable[int], ptr: bool = False):
+        out = []
+        for addr in addrs:
+            value = yield from self._read_slow(addr, ptr)
+            out.append(value)
+        return out
+
+    def _read_block_slow(self, addr: int, nwords: int, ptr: bool = False):
+        return (
+            yield from self._read_many_slow(
+                range(addr, addr + nwords * WORD_BYTES, WORD_BYTES), ptr
+            )
+        )
+
+    def _write_block_slow(
+        self, addr: int, values: Sequence[float], ptr: bool = False
+    ):
+        for i, value in enumerate(values):
+            yield from self._write_slow(addr + i * WORD_BYTES, value, ptr)
+
+    # ------------------------------------------------------------------
+    # computation
+    # ------------------------------------------------------------------
+
     def compute(self, cycles: int):
         """Spend ``cycles`` of pure computation."""
         t = self._t
-        t.charge_user(cycles)
+        t.time += cycles
+        t.user += cycles
         if t.time - t.last_yield > self._quantum:
             yield ("pause",)
+            self._fp_reset()
 
     # ------------------------------------------------------------------
     # synchronization
@@ -123,16 +637,19 @@ class Env:
         """Acquire an MGS lock (an acquire point; no protocol action
         needed because MGS invalidates eagerly at releases)."""
         yield ("lock", lk)
+        self._fp_reset()
 
     def unlock(self, lk: "MGSLock"):
         """Release an MGS lock.  This is a release point: the DUQ is
         flushed *before* the lock is freed — the source of the paper's
         critical-section dilation."""
         yield ("unlock", lk)
+        self._fp_reset()
 
     def barrier(self):
         """Wait on the global barrier (also a release point)."""
         yield ("barrier",)
+        self._fp_reset()
 
     # ------------------------------------------------------------------
     # helpers
@@ -156,3 +673,8 @@ class Env:
     def now(self) -> int:
         """The thread's local clock (cycles)."""
         return self._t.time
+
+    @property
+    def fastpath(self) -> bool:
+        """Whether this Env uses the hot-path access engine."""
+        return self._rt.fastpath

@@ -24,7 +24,7 @@ from typing import Any, Generator
 __all__ = ["ThreadContext"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadContext:
     """State of one application thread."""
 

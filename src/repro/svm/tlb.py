@@ -24,6 +24,8 @@ class MapMode(enum.IntEnum):
 class TLB:
     """Mapping state for one processor."""
 
+    __slots__ = ("pid", "_entries", "fills", "invalidations")
+
     def __init__(self, pid: int) -> None:
         self.pid = pid
         self._entries: dict[int, MapMode] = {}

@@ -1,0 +1,285 @@
+"""The fast-path access engine is invisible except for wall-clock.
+
+``Env`` binds ``read``/``write``/``read_block``/``write_block``/
+``read_many`` to either the fast or the slow implementations depending
+on ``Runtime.fastpath``.  These tests pin the contract:
+
+* the batched block/many APIs charge exactly the same cycles as the
+  equivalent loop of single-word accesses (same thread clocks, same
+  cache and protocol stats, same simulator event count);
+* fast and slow paths are bit-for-bit identical, including across
+  faults and quantum pauses that land mid-block;
+* the quantum boundary is strict (> quantum pauses, == quantum does
+  not) in both modes;
+* ``REPRO_NO_FASTPATH`` disables the fast paths.
+"""
+
+import pytest
+
+from repro.params import WORD_BYTES, MachineConfig
+from repro.runtime import Runtime, fastpath_enabled_default
+
+
+def _config(total=4, cluster=2):
+    return MachineConfig(total_processors=total, cluster_size=cluster)
+
+
+def _state(rt, result):
+    """Every externally visible cycle-level fact about a finished run."""
+    return {
+        "total_time": result.total_time,
+        "threads": [
+            (t.time, t.user, t.lock, t.barrier, t.mgs, t.finish_time)
+            for t in result.threads
+        ],
+        "cache": dict(result.cache_stats),
+        "protocol": dict(result.protocol_stats),
+        "messages": (result.messages_inter_ssmp, result.messages_intra_ssmp),
+        "events": rt.sim.events_processed,
+    }
+
+
+def _run(worker_factory, *, fastpath, quantum=1500, total=4, cluster=2):
+    """Run one workload; returns (state, values captured by the workers)."""
+    rt = Runtime(_config(total, cluster), quantum=quantum, fastpath=fastpath)
+    nwords = 64 * total
+    arr = rt.array("data", nwords)
+    arr.init([float(i) * 0.5 for i in range(nwords)])
+    captured = []
+    rt.spawn_all(worker_factory(arr, nwords, captured))
+    result = rt.run()
+    return _state(rt, result), captured
+
+
+def _assert_equivalent(worker_a, worker_b, quantum=1500, total=4, cluster=2):
+    """workers a and b must produce identical machines in all four modes."""
+    states = {}
+    values = {}
+    for name, factory in (("a", worker_a), ("b", worker_b)):
+        for fast in (True, False):
+            states[name, fast], values[name, fast] = _run(
+                factory, fastpath=fast, quantum=quantum, total=total, cluster=cluster
+            )
+    baseline = states["a", True]
+    base_values = values["a", True]
+    for key, state in states.items():
+        assert state == baseline, f"{key} diverged from (a, fastpath)"
+        assert values[key] == base_values, f"{key} read different data"
+
+
+# ---------------------------------------------------------------------------
+# block/many APIs == loops of single-word accesses
+# ---------------------------------------------------------------------------
+
+
+def _reader_block(arr, nwords, captured):
+    # Every processor streams someone else's stripe, so blocks cross
+    # pages owned by remote clusters and fault mid-block.
+    def worker(env):
+        per = nwords // env.nprocs
+        victim = (env.pid + 1) % env.nprocs
+        base = arr.addr(victim * per)
+        for _ in range(3):
+            vals = yield from env.read_block(base, per)
+            captured.append(vals)
+        yield from env.barrier()
+
+    return worker
+
+
+def _reader_loop(arr, nwords, captured):
+    def worker(env):
+        per = nwords // env.nprocs
+        victim = (env.pid + 1) % env.nprocs
+        base = arr.addr(victim * per)
+        for _ in range(3):
+            vals = []
+            for w in range(per):
+                v = yield from env.read(base + w * WORD_BYTES)
+                vals.append(v)
+            captured.append(vals)
+        yield from env.barrier()
+
+    return worker
+
+
+def test_read_block_equals_read_loop():
+    _assert_equivalent(_reader_block, _reader_loop)
+
+
+def test_read_block_equals_read_loop_with_tiny_quantum():
+    # quantum 97 forces pauses inside nearly every block, exercising the
+    # mid-run re-resolve path and the pause-then-append ordering.
+    _assert_equivalent(_reader_block, _reader_loop, quantum=97)
+
+
+def _many_strided(arr, nwords, captured):
+    def worker(env):
+        per = nwords // env.nprocs
+        addrs = tuple(
+            arr.addr((env.pid * per + 7 * k) % nwords) for k in range(per)
+        )
+        vals = yield from env.read_many(addrs)
+        captured.append(vals)
+        yield from env.barrier()
+
+    return worker
+
+
+def _many_as_loop(arr, nwords, captured):
+    def worker(env):
+        per = nwords // env.nprocs
+        addrs = tuple(
+            arr.addr((env.pid * per + 7 * k) % nwords) for k in range(per)
+        )
+        vals = []
+        for a in addrs:
+            v = yield from env.read(a)
+            vals.append(v)
+        captured.append(vals)
+        yield from env.barrier()
+
+    return worker
+
+
+def test_read_many_equals_read_loop():
+    _assert_equivalent(_many_strided, _many_as_loop)
+    _assert_equivalent(_many_strided, _many_as_loop, quantum=97)
+
+
+def _writer_block(arr, nwords, captured):
+    def worker(env):
+        per = nwords // env.nprocs
+        base = arr.addr(env.pid * per)
+        values = [float(env.pid * 1000 + w) for w in range(per)]
+        yield from env.write_block(base, values)
+        yield from env.barrier()
+        # read back a neighbour's stripe so the stores are observable
+        victim = (env.pid + 1) % env.nprocs
+        got = yield from env.read_block(arr.addr(victim * per), per)
+        captured.append((env.pid, got))
+        yield from env.barrier()
+
+    return worker
+
+
+def _writer_loop(arr, nwords, captured):
+    def worker(env):
+        per = nwords // env.nprocs
+        base = arr.addr(env.pid * per)
+        for w in range(per):
+            yield from env.write(base + w * WORD_BYTES, float(env.pid * 1000 + w))
+        yield from env.barrier()
+        victim = (env.pid + 1) % env.nprocs
+        got = []
+        for w in range(per):
+            v = yield from env.read(arr.addr(victim * per) + w * WORD_BYTES)
+            got.append(v)
+        captured.append((env.pid, got))
+        yield from env.barrier()
+
+    return worker
+
+
+def test_write_block_equals_write_loop():
+    _assert_equivalent(_writer_block, _writer_loop)
+    _assert_equivalent(_writer_block, _writer_loop, quantum=97)
+
+
+def test_written_values_are_the_values_read_back():
+    _, captured = _run(_writer_block, fastpath=True)
+    per = (64 * 4) // 4
+    assert sorted(pid for pid, _ in captured) == [0, 1, 2, 3]
+    for pid, got in captured:
+        victim = (pid + 1) % 4
+        assert got == [float(victim * 1000 + w) for w in range(per)]
+
+
+# ---------------------------------------------------------------------------
+# quantum boundary
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("fastpath", [True, False])
+def test_compute_exactly_one_quantum_does_not_pause(fastpath):
+    q = 1500
+
+    def events_for(cycles):
+        rt = Runtime(_config(total=1, cluster=1), quantum=q, fastpath=fastpath)
+
+        def worker(env):
+            yield from env.compute(cycles)
+
+        rt.spawn(worker)
+        rt.run()
+        return rt.sim.events_processed
+
+    at_quantum = events_for(q)
+    # the boundary is strict: == quantum runs on, > quantum pauses once,
+    # and the pause is exactly one extra resume event
+    assert events_for(q - 1) == at_quantum
+    assert events_for(q + 1) == at_quantum + 1
+
+
+@pytest.mark.parametrize("fastpath", [True, False])
+def test_pause_resets_the_quantum_budget(fastpath):
+    q = 100
+
+    def events_for(chunks):
+        rt = Runtime(_config(total=1, cluster=1), quantum=q, fastpath=fastpath)
+
+        def worker(env):
+            for _ in range(chunks):
+                yield from env.compute(q + 1)
+
+        rt.spawn(worker)
+        rt.run()
+        return rt.sim.events_processed
+
+    # each over-quantum chunk pauses exactly once
+    assert events_for(4) == events_for(1) + 3
+
+
+# ---------------------------------------------------------------------------
+# the REPRO_NO_FASTPATH escape hatch
+# ---------------------------------------------------------------------------
+
+
+def test_fastpath_on_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    assert fastpath_enabled_default() is True
+    assert Runtime(_config()).fastpath is True
+
+
+@pytest.mark.parametrize("value", ["1", "true", "YES", " 1 "])
+def test_repro_no_fastpath_disables(monkeypatch, value):
+    monkeypatch.setenv("REPRO_NO_FASTPATH", value)
+    assert fastpath_enabled_default() is False
+    assert Runtime(_config()).fastpath is False
+
+
+def test_repro_no_fastpath_unrecognised_values_keep_it_on(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_FASTPATH", "0")
+    assert fastpath_enabled_default() is True
+
+
+def _fresh_env(rt):
+    from repro.runtime.env import Env
+    from repro.runtime.thread import ThreadContext
+
+    return Env(rt, ThreadContext(pid=0, gen=None))
+
+
+def test_explicit_fastpath_argument_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_FASTPATH", "1")
+    rt = Runtime(_config(), fastpath=True)
+    assert rt.fastpath is True
+    assert _fresh_env(rt).fastpath is True
+
+
+def test_env_binds_slow_methods_when_disabled():
+    env = _fresh_env(Runtime(_config(), fastpath=False))
+    assert env.read.__func__ is env._read_slow.__func__
+    assert env.read_block.__func__ is env._read_block_slow.__func__
+    env2 = _fresh_env(Runtime(_config(), fastpath=True))
+    assert env2.read.__func__ is env2._read_fast.__func__

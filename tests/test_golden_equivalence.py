@@ -7,6 +7,12 @@ the default cost model (8 processors, 32x32 Jacobi, 3 iterations,
 1000-cycle inter-SSMP delay) for all three external interconnect models.
 Any drift — an extra event, a changed size, a reordered send — shifts
 them and fails this test.
+
+The same goldens also pin the fast-path access engine: the default run
+uses the fast paths, so the totals above must hold with them on, and
+``test_fastpath_and_slow_path_full_state_identical`` compares every
+observable — clocks, stats, message flows, final memory — between the
+fast and slow engines.
 """
 
 import pytest
@@ -56,3 +62,30 @@ def test_jacobi_figure6_curve_is_bit_for_bit(network):
         assert measured == expected, (
             f"{network} C={cluster_size}: {measured} != golden {expected}"
         )
+
+
+def _full_state(fastpath: bool):
+    config = MachineConfig(total_processors=8, cluster_size=2)
+    rt = jacobi.make_runtime(config, fastpath=fastpath)
+    final = jacobi.build(rt, JacobiParams(n=32, iterations=3))
+    result = rt.run()
+    return {
+        "total_time": result.total_time,
+        "threads": [
+            (t.time, t.user, t.lock, t.barrier, t.mgs, t.finish_time)
+            for t in result.threads
+        ],
+        "cache": dict(result.cache_stats),
+        "protocol": dict(result.protocol_stats),
+        "messages": (result.messages_inter_ssmp, result.messages_intra_ssmp),
+        "flows": result.message_flows,
+        "events": rt.sim.events_processed,
+        "grid": final.snapshot().tolist(),
+    }
+
+
+def test_fastpath_and_slow_path_full_state_identical():
+    fast = _full_state(True)
+    slow = _full_state(False)
+    for key in fast:
+        assert fast[key] == slow[key], f"fastpath changed {key}"

@@ -1,0 +1,90 @@
+"""The parallel sweep runner changes wall-clock, never results."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.apps import jacobi
+from repro.bench import parallel_map, resolve_jobs, run_figures, run_sweep
+
+
+# ---------------------------------------------------------------------------
+# resolve_jobs
+# ---------------------------------------------------------------------------
+
+
+def test_default_is_serial(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs() == 1
+    assert resolve_jobs(None) == 1
+
+
+def test_explicit_argument_wins_over_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "7")
+    assert resolve_jobs(3) == 3
+
+
+def test_env_var_supplies_the_default(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs() == 3
+
+
+def test_zero_means_all_cores(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+
+def test_malformed_env_warns_and_runs_serial(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.warns(RuntimeWarning, match="REPRO_JOBS"):
+        assert resolve_jobs() == 1
+
+
+# ---------------------------------------------------------------------------
+# parallel_map
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_map_serial_path_preserves_order():
+    assert parallel_map(abs, [(-1,), (2,), (-3,)], jobs=1) == [1, 2, 3]
+
+
+def test_parallel_map_workers_preserve_order():
+    # `abs` is a picklable builtin, so this exercises real subprocesses.
+    assert parallel_map(abs, [(-1,), (2,), (-3,), (-4,)], jobs=2) == [1, 2, 3, 4]
+
+
+def test_parallel_map_single_item_stays_in_process():
+    calls = []
+
+    def local(x):  # unpicklable closure: proves no pool was spawned
+        calls.append(x)
+        return x * 10
+
+    assert parallel_map(local, [(4,)], jobs=8) == [40]
+    assert calls == [4]
+
+
+# ---------------------------------------------------------------------------
+# sweeps: serial and parallel are byte-identical
+# ---------------------------------------------------------------------------
+
+
+def _tiny_params():
+    return jacobi.JacobiParams(n=16, iterations=2)
+
+
+def test_run_sweep_parallel_matches_serial():
+    serial = run_sweep(jacobi, params=_tiny_params(), total_processors=4, jobs=1)
+    twice = run_sweep(jacobi, params=_tiny_params(), total_processors=4, jobs=2)
+    assert dataclasses.asdict(serial) == dataclasses.asdict(twice)
+
+
+def test_run_figures_matches_individual_runs():
+    from repro.bench import run_figure
+
+    farmed = run_figures(["fig6"], total_processors=8, jobs=2)
+    assert [key for key, _ in farmed] == ["fig6"]
+    direct = run_figure("fig6", total_processors=8)
+    assert dataclasses.asdict(farmed[0][1]) == dataclasses.asdict(direct)

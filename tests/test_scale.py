@@ -1,5 +1,9 @@
 """The REPRO_SCALE knob grows workloads toward the paper's sizes."""
 
+import warnings
+
+import pytest
+
 from repro.bench import bench_params, scale_factor
 
 
@@ -13,6 +17,24 @@ def test_invalid_scale_falls_back(monkeypatch):
     assert scale_factor() == 1
     monkeypatch.setenv("REPRO_SCALE", "-3")
     assert scale_factor() == 1
+
+
+def test_malformed_scale_warns_instead_of_silently_ignoring(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "banana")
+    with pytest.warns(RuntimeWarning, match="REPRO_SCALE='banana'"):
+        assert scale_factor() == 1
+
+
+def test_valid_scale_does_not_warn(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "2")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert scale_factor() == 2
+    # -3 parses fine (clamped), so it must not warn either.
+    monkeypatch.setenv("REPRO_SCALE", "-3")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert scale_factor() == 1
 
 
 def test_scale_grows_every_workload(monkeypatch):

@@ -75,6 +75,63 @@ def test_max_events_guard():
         sim.run(max_events=100)
 
 
+def test_max_events_allows_exactly_that_many():
+    # Regression: the guard used to trip only after executing event
+    # max_events + 1; a run of exactly max_events events must succeed.
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(i, fired.append, i)
+    sim.run(max_events=5)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_max_events_stops_before_executing_the_excess_event():
+    sim = Simulator()
+    fired = []
+    for i in range(6):
+        sim.schedule(i, fired.append, i)
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=5)
+    # The sixth event was never executed and is still queued.
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.pending == 1
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+
+
+def test_same_time_events_scheduled_mid_batch_keep_fifo_order():
+    # Events scheduled for the *current* time from inside an event join
+    # the in-flight batch; order must stay (time, seq) — i.e. schedule
+    # order — exactly as if every event had gone through the heap.
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0, order.append, "chained")
+
+    sim.schedule(5, first)
+    sim.schedule(5, order.append, "second")
+    sim.run()
+    assert order == ["first", "second", "chained"]
+    assert sim.now == 5
+
+
+def test_pending_counts_current_batch_after_guard_trips():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0, loop)
+
+    sim.schedule(0, loop)
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=10)
+    # The chained same-time event survives the abort and stays runnable.
+    assert sim.pending == 1
+    assert sim.step() is True
+
+
 def test_step_single_event():
     sim = Simulator()
     fired = []
