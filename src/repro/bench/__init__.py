@@ -1,5 +1,6 @@
 """Benchmark harness: regenerates every table and figure of the paper."""
 
+from repro.bench.cache import CacheVerifyError, RunCache, resolve_cache
 from repro.bench.figures import FIGURES, bench_params, figure_report, run_figure
 from repro.bench.micro import MicroCosts, measure_micro_costs
 from repro.bench.parallel import parallel_map, resolve_jobs, run_figures
@@ -13,6 +14,9 @@ from repro.bench.sweep import default_config, run_sweep, scale_factor
 from repro.bench.table4 import render_table4, run_table4
 
 __all__ = [
+    "RunCache",
+    "CacheVerifyError",
+    "resolve_cache",
     "MicroCosts",
     "measure_micro_costs",
     "FIGURES",

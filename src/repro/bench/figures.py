@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.apps import barnes_hut, jacobi, matmul, tsp, water, water_kernel
+from repro.bench.cache import RunCache
 from repro.bench.report import render_breakdown_figure, render_metrics
 from repro.bench.sweep import run_sweep, scale_factor
 from repro.metrics import ClusterSweep
@@ -82,12 +83,16 @@ def run_figure(
     total_processors: int = 32,
     network: "NetworkConfig | None" = None,
     jobs: int | None = None,
+    cache: "RunCache | bool | None" = None,
+    cache_verify: bool = False,
 ) -> ClusterSweep:
     """Run the full cluster-size sweep behind one figure.
 
     ``jobs`` farms cluster-size points to worker processes (see
     :func:`repro.bench.sweep.run_sweep`); the sweep is byte-identical
-    at any job count.
+    at any job count.  ``cache`` / ``cache_verify`` route through the
+    content-addressed run cache (:mod:`repro.bench.cache`): warm reruns
+    serve every point from disk without simulating.
     """
     spec = FIGURES[key]
     params = bench_params(spec.app)
@@ -98,6 +103,8 @@ def run_figure(
         name=spec.app,
         network=network,
         jobs=jobs,
+        cache=cache,
+        cache_verify=cache_verify,
     )
 
 

@@ -5,9 +5,9 @@ deterministic universe: it shares no state with any other point, and its
 result depends only on its arguments.  That makes the figure sweeps
 embarrassingly parallel, so this module fans them out to worker
 processes while keeping the *output* exactly what the serial loop
-produces: workers are mapped over the points in order and results are
-collected in input order, so a parallel sweep is byte-identical to a
-serial one (pinned by ``tests/test_parallel.py``).
+produces: results are collected in input order regardless of execution
+order, so a parallel sweep is byte-identical to a serial one (pinned by
+``tests/test_parallel.py``).
 
 Job count resolution, lowest priority last:
 
@@ -15,15 +15,26 @@ Job count resolution, lowest priority last:
 2. the ``REPRO_JOBS`` environment variable;
 3. serial (1).
 
-``jobs=0`` (or ``REPRO_JOBS=0``) means "all cores".  The pool uses the
+``jobs=0`` (or ``REPRO_JOBS=0``) means "all cores".  On a single-core
+machine ``parallel_map`` always runs in-process: forking buys nothing
+there and the committed perf baseline shows it strictly slower (0.178s
+parallel vs 0.150s serial for the smoke sweep).  The pool uses the
 ``fork`` start method where available so workers inherit ``sys.path``
 and loaded modules; on platforms without ``fork`` the default start
 method is used and arguments travel by pickle (everything passed here —
 app parameter dataclasses, configs, result dataclasses — is picklable).
+
+When the caller knows roughly how long each item takes (the run cache
+records wall time per point), ``priorities=`` schedules
+longest-job-first: items are *submitted* in descending priority so the
+slowest work starts immediately, while results still come back in input
+order.  Items with an unknown priority (None) run first — they might be
+long.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing as mp
 import os
 import warnings
@@ -54,25 +65,42 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return jobs
 
 
-def _call(payload: tuple) -> Any:
-    fn, args = payload
-    return fn(*args)
+def _submission_order(
+    n: int, priorities: Sequence[float | None] | None
+) -> list[int]:
+    """Indices in submission order: descending priority, stable on ties."""
+    if priorities is None:
+        return list(range(n))
+    if len(priorities) != n:
+        raise ValueError(f"{len(priorities)} priorities for {n} items")
+    return sorted(
+        range(n),
+        key=lambda i: (
+            -(math.inf if priorities[i] is None else priorities[i]),
+            i,
+        ),
+    )
 
 
 def parallel_map(
-    fn: Callable[..., Any], arg_tuples: Sequence[tuple], jobs: int | None = None
+    fn: Callable[..., Any],
+    arg_tuples: Sequence[tuple],
+    jobs: int | None = None,
+    priorities: Sequence[float | None] | None = None,
 ) -> list[Any]:
     """``[fn(*args) for args in arg_tuples]`` over worker processes.
 
     Results come back in input order regardless of completion order, so
     callers see exactly the serial result list.  ``fn`` must be a
     module-level function (workers import it by reference).  With one
-    job or one item this is the plain list comprehension — no pool, no
-    pickling.
+    job, one item, or one CPU this is the plain list comprehension — no
+    pool, no pickling.  ``priorities`` (optional, one float-or-None per
+    item) submits work longest-job-first; it never changes the result.
     """
     items = list(arg_tuples)
+    order = _submission_order(len(items), priorities)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(items) <= 1:
+    if jobs <= 1 or len(items) <= 1 or (os.cpu_count() or 1) <= 1:
         return [fn(*args) for args in items]
     if "fork" in mp.get_all_start_methods():
         ctx = mp.get_context("fork")
@@ -80,7 +108,8 @@ def parallel_map(
         ctx = mp.get_context()
     workers = min(jobs, len(items))
     with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-        return list(pool.map(_call, [(fn, args) for args in items]))
+        futures = {i: pool.submit(fn, *items[i]) for i in order}
+        return [futures[i].result() for i in range(len(items))]
 
 
 def _figure_job(key: str, total_processors: int, network):

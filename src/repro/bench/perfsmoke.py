@@ -22,6 +22,11 @@ Workloads:
 * ``sweep`` — a small Jacobi cluster-size sweep, serial and with two
   worker processes; the harness asserts both are byte-identical before
   recording anything.
+* ``sweep_cached`` — the same sweep cold and warm through the
+  content-addressed run cache (``repro.bench.cache``): the warm pass
+  must serve every point from cache (hits == points, zero misses), a
+  verify pass must reproduce every cached result bit-for-bit, and the
+  report records the cold/warm wall-clock plus hit/miss/byte counters.
 
 Every run cross-checks fast-vs-slow cycle counts, so the perf smoke is
 also a determinism smoke.
@@ -35,10 +40,13 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 
 from repro.apps import jacobi
+from repro.bench.cache import RunCache
 from repro.bench.sweep import run_sweep
+from repro.metrics.export import run_cache_to_dict
 from repro.params import MachineConfig
 from repro.runtime import Runtime
 
@@ -118,6 +126,53 @@ def _bench_sweep(n: int, iterations: int) -> dict:
     }
 
 
+def _bench_cached_sweep(n: int, iterations: int) -> dict:
+    """Cold vs warm run-cache sweep; warm must be all hits, zero misses."""
+    params = jacobi.JacobiParams(n=n, iterations=iterations)
+    with tempfile.TemporaryDirectory() as tmp:
+        cold = RunCache(tmp)
+        t0 = time.perf_counter()
+        sweep_cold = run_sweep(
+            jacobi, params=params, total_processors=8, jobs=1, cache=cold
+        )
+        t_cold = time.perf_counter() - t0
+        warm = RunCache(tmp)
+        t0 = time.perf_counter()
+        sweep_warm = run_sweep(
+            jacobi, params=params, total_processors=8, jobs=1, cache=warm
+        )
+        t_warm = time.perf_counter() - t0
+        verify = RunCache(tmp, verify_fraction=1.0)
+        run_sweep(
+            jacobi,
+            params=params,
+            total_processors=8,
+            jobs=1,
+            cache=verify,
+            cache_verify=True,
+        )
+    npoints = len(sweep_cold.points)
+    if dataclasses.asdict(sweep_cold) != dataclasses.asdict(sweep_warm):
+        raise AssertionError("warm cached sweep diverged from cold sweep")
+    if warm.stats.hits != npoints or warm.stats.misses != 0:
+        raise AssertionError(
+            f"warm cached sweep simulated work: {warm.stats.as_dict()}"
+        )
+    if verify.stats.verified != npoints:
+        raise AssertionError(
+            f"cache verify re-checked {verify.stats.verified}/{npoints} points"
+        )
+    return {
+        "cold_seconds": round(t_cold, 4),
+        "warm_seconds": round(t_warm, 4),
+        "speedup_warm": round(t_cold / t_warm, 1) if t_warm > 0 else None,
+        "points": npoints,
+        "cache_cold": run_cache_to_dict(cold),
+        "cache_warm": run_cache_to_dict(warm),
+        "cache_verify": run_cache_to_dict(verify),
+    }
+
+
 def run_perfsmoke(quick: bool = False) -> dict:
     """Measure the workload set and return the report dict."""
     if quick:
@@ -139,6 +194,7 @@ def run_perfsmoke(quick: bool = False) -> dict:
         raise AssertionError("fastpath diverged from slow path (jacobi)")
 
     sweep = _bench_sweep(32, 3)
+    cached = _bench_cached_sweep(32, 3)
 
     return {
         "schema": SCHEMA,
@@ -152,6 +208,7 @@ def run_perfsmoke(quick: bool = False) -> dict:
             "jacobi_fast": jac_fast,
             "jacobi_slow": jac_slow,
             "sweep": sweep,
+            "sweep_cached": cached,
         },
         "speedups": {
             "hit_block_fastpath": round(
@@ -160,6 +217,7 @@ def run_perfsmoke(quick: bool = False) -> dict:
             "jacobi_fastpath": round(
                 jac_slow["seconds"] / jac_fast["seconds"], 2
             ),
+            "warm_cache": cached["speedup_warm"],
         },
     }
 
@@ -241,6 +299,13 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"  sweep       serial {b['sweep']['serial_seconds']:.3f}s"
         f"   2 jobs {b['sweep']['parallel_seconds']:.3f}s   byte-identical"
+    )
+    print(
+        f"  run cache   cold {b['sweep_cached']['cold_seconds']:.3f}s"
+        f"   warm {b['sweep_cached']['warm_seconds']:.3f}s"
+        f"   speedup {report['speedups']['warm_cache']}x"
+        f"   ({b['sweep_cached']['cache_warm']['hits']}/"
+        f"{b['sweep_cached']['points']} hits, verified)"
     )
     print(f"  report -> {args.out}")
 

@@ -4,9 +4,16 @@ from __future__ import annotations
 
 import importlib
 import os
+import time
 import warnings
 from typing import Any
 
+from repro.bench.cache import (
+    RunCache,
+    app_run_from_dict,
+    app_run_to_dict,
+    resolve_cache,
+)
 from repro.bench.parallel import parallel_map, resolve_jobs
 from repro.metrics import ClusterSweep, SweepPoint, cluster_sizes
 from repro.params import CostModel, MachineConfig, NetworkConfig
@@ -42,6 +49,39 @@ def default_config(
     )
 
 
+def _point_config(
+    total_processors: int,
+    cluster_size: int,
+    inter_ssmp_delay: int,
+    network: NetworkConfig | None,
+) -> MachineConfig:
+    """The exact MachineConfig a sweep point simulates (also the cache key)."""
+    overrides: dict[str, Any] = {"inter_ssmp_delay": inter_ssmp_delay}
+    if network is not None:
+        overrides["network"] = network
+    return default_config(cluster_size, total_processors, **overrides)
+
+
+def _fold_point(run) -> SweepPoint:
+    """Fold one AppRun into the SweepPoint the figures consume.
+
+    Shared by the live and cached paths, so a cache hit produces the
+    byte-identical point a fresh simulation would.
+    """
+    return SweepPoint(
+        cluster_size=run.result.config.cluster_size,
+        total_time=run.total_time,
+        breakdown=run.result.breakdown(),
+        lock_hit_ratio=run.result.lock_stats.hit_ratio,
+        lock_acquires=run.result.lock_stats.acquires,
+        protocol_stats=run.result.protocol_stats,
+        messages_inter_ssmp=run.result.messages_inter_ssmp,
+        network=run.result.network_stats,
+        message_flows=run.result.message_flows,
+        transactions=run.result.transactions,
+    )
+
+
 def _sweep_point(
     module_name: str,
     params: Any,
@@ -59,25 +99,99 @@ def _sweep_point(
     function, which is what makes parallel output byte-identical.
     """
     app_module = importlib.import_module(module_name)
-    overrides: dict[str, Any] = {"inter_ssmp_delay": inter_ssmp_delay}
-    if network is not None:
-        overrides["network"] = network
-    config = default_config(cluster_size, total_processors, **overrides)
+    config = _point_config(total_processors, cluster_size, inter_ssmp_delay, network)
     run = app_module.run(config, params, costs)
     if require_valid:
         run.require_valid()
-    return run.name, SweepPoint(
-        cluster_size=cluster_size,
-        total_time=run.total_time,
-        breakdown=run.result.breakdown(),
-        lock_hit_ratio=run.result.lock_stats.hit_ratio,
-        lock_acquires=run.result.lock_stats.acquires,
-        protocol_stats=run.result.protocol_stats,
-        messages_inter_ssmp=run.result.messages_inter_ssmp,
-        network=run.result.network_stats,
-        message_flows=run.result.message_flows,
-        transactions=run.result.transactions,
+    return run.name, _fold_point(run)
+
+
+def _sweep_point_payload(
+    module_name: str,
+    params: Any,
+    total_processors: int,
+    cluster_size: int,
+    costs: CostModel | None,
+    inter_ssmp_delay: int,
+    network: NetworkConfig | None,
+    require_valid: bool,
+) -> tuple[str, SweepPoint, dict, float]:
+    """The cached-path worker: ``_sweep_point`` plus the cache payload.
+
+    Returns ``(name, point, serialized AppRun, wall seconds)``; the
+    parent process owns all cache writes, so workers never race on the
+    store.
+    """
+    app_module = importlib.import_module(module_name)
+    config = _point_config(total_processors, cluster_size, inter_ssmp_delay, network)
+    t0 = time.perf_counter()
+    run = app_module.run(config, params, costs)
+    wall = time.perf_counter() - t0
+    if require_valid:
+        run.require_valid()
+    return run.name, _fold_point(run), app_run_to_dict(run), wall
+
+
+def _cached_results(
+    cache: RunCache,
+    cache_verify: bool,
+    point_args: list[tuple],
+    jobs: int | None,
+) -> list[tuple[str, SweepPoint]]:
+    """The cache-aware sweep executor.
+
+    Hits are served in-process from the store (no fork); misses — and,
+    under ``cache_verify``, a deterministic sample of hits — are farmed
+    to workers longest-job-first using cached wall-time estimates, then
+    collected in input order, so the sweep is byte-identical to the
+    uncached serial loop at any job count.
+    """
+    keyed = []
+    for args in point_args:
+        module_name, params, total_processors, c, costs, delay, network, _ = args
+        config = _point_config(total_processors, c, delay, network)
+        keyed.append(cache.key_for(config, costs, module_name, params))
+
+    entries = [cache.get(key) for key, _ in keyed]
+    hit_positions = [i for i, e in enumerate(entries) if e is not None]
+    verify_set = (
+        {hit_positions[j] for j in cache.verify_sample(len(hit_positions))}
+        if cache_verify
+        else set()
     )
+    work = [i for i, e in enumerate(entries) if e is None or i in verify_set]
+
+    priorities = [
+        cache.estimate_seconds(point_args[i][0], point_args[i][3]) for i in work
+    ]
+    executed = (
+        parallel_map(
+            _sweep_point_payload,
+            [point_args[i] for i in work],
+            resolve_jobs(jobs),
+            priorities=priorities,
+        )
+        if work
+        else []
+    )
+
+    fresh: dict[int, tuple[str, SweepPoint, dict, float]] = dict(zip(work, executed))
+    results: list[tuple[str, SweepPoint]] = []
+    for i, (key, preimage) in enumerate(keyed):
+        entry = entries[i]
+        if entry is None:
+            name, point, payload, wall = fresh[i]
+            cache.put(key, preimage, payload, wall)
+            results.append((name, point))
+            continue
+        if i in verify_set:
+            cache.check_identical(key, entry, fresh[i][2])
+        run = app_run_from_dict(entry["run"])
+        require_valid = point_args[i][7]
+        if require_valid:
+            run.require_valid()
+        results.append((run.name, _fold_point(run)))
+    return results
 
 
 def run_sweep(
@@ -91,6 +205,8 @@ def run_sweep(
     require_valid: bool = True,
     network: NetworkConfig | None = None,
     jobs: int | None = None,
+    cache: RunCache | bool | None = None,
+    cache_verify: bool = False,
 ) -> ClusterSweep:
     """Run ``app_module.run`` at every cluster size and collect the curve.
 
@@ -100,27 +216,37 @@ def run_sweep(
     ``jobs`` farms the (independent) cluster-size points to worker
     processes — default serial, or the ``REPRO_JOBS`` env variable; the
     resulting sweep is byte-identical either way.
+
+    ``cache`` memoizes points in the content-addressed run cache (see
+    :mod:`repro.bench.cache`): ``None`` consults ``REPRO_CACHE`` /
+    ``REPRO_CACHE_DIR``, ``True``/``False`` force it, or pass a
+    :class:`~repro.bench.cache.RunCache` to collect hit/miss counters.
+    Cache hits skip the fork entirely; misses are scheduled
+    longest-job-first from cached wall-time estimates.  ``cache_verify``
+    re-executes a deterministic sample of hits and fails loudly if any
+    cached result is not reproduced bit-for-bit.
     """
     if sizes is None:
         sizes = cluster_sizes(total_processors)
     module_name = getattr(app_module, "__name__", str(app_module))
-    results = parallel_map(
-        _sweep_point,
-        [
-            (
-                module_name,
-                params,
-                total_processors,
-                c,
-                costs,
-                inter_ssmp_delay,
-                network,
-                require_valid,
-            )
-            for c in sizes
-        ],
-        resolve_jobs(jobs),
-    )
+    point_args = [
+        (
+            module_name,
+            params,
+            total_processors,
+            c,
+            costs,
+            inter_ssmp_delay,
+            network,
+            require_valid,
+        )
+        for c in sizes
+    ]
+    run_cache = resolve_cache(cache)
+    if run_cache is not None:
+        results = _cached_results(run_cache, cache_verify, point_args, jobs)
+    else:
+        results = parallel_map(_sweep_point, point_args, resolve_jobs(jobs))
     app_name = name
     points = []
     for run_name, point in results:

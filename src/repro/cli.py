@@ -21,11 +21,13 @@ import sys
 from repro.apps import ALL_APPS
 from repro.bench import (
     FIGURES,
+    RunCache,
     figure_report,
     measure_micro_costs,
     render_lock_figure,
     render_table,
     render_table4,
+    resolve_cache,
     resolve_jobs,
     run_figure,
     run_figures,
@@ -35,7 +37,7 @@ from repro.bench import (
 from repro.bench.micro import PAPER_TABLE3
 from repro.params import EXTERNAL_MODELS, NetworkConfig
 
-__all__ = ["main", "network_from_args"]
+__all__ = ["main", "network_from_args", "cache_from_args"]
 
 
 def add_network_args(parser: argparse.ArgumentParser) -> None:
@@ -62,6 +64,46 @@ def add_network_args(parser: argparse.ArgumentParser) -> None:
         "--net-seed", type=int, default=None, metavar="SEED",
         help="fault-injection PRNG seed",
     )
+
+
+def add_cache_args(parser: argparse.ArgumentParser) -> None:
+    """The run-cache flag group (see :mod:`repro.bench.cache`)."""
+    group = parser.add_argument_group("run cache")
+    group.add_argument(
+        "--cache",
+        action="store_true",
+        help="serve repeated sweep points from the content-addressed run "
+        "cache (also enabled by REPRO_CACHE=1 or REPRO_CACHE_DIR)",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the run cache even if REPRO_CACHE/REPRO_CACHE_DIR is set",
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache directory (default: REPRO_CACHE_DIR or .repro_cache/); "
+        "implies --cache",
+    )
+    group.add_argument(
+        "--cache-verify",
+        action="store_true",
+        help="re-execute a sample of cache hits and fail loudly unless each "
+        "reproduces the cached result bit-for-bit; implies --cache",
+    )
+
+
+def cache_from_args(args: argparse.Namespace) -> RunCache | None:
+    """A RunCache from the flag group (None when caching is off)."""
+    if args.no_cache:
+        if args.cache or args.cache_dir or args.cache_verify:
+            raise ValueError("--no-cache conflicts with the other cache flags")
+        return None
+    if args.cache or args.cache_dir or args.cache_verify:
+        return RunCache(args.cache_dir)
+    return resolve_cache(None)
 
 
 def parse_trace_pages(value: str) -> set[int] | None:
@@ -194,9 +236,11 @@ def main(argv: list[str] | None = None) -> int:
         "prints transaction-grouped traces after each run",
     )
     add_network_args(parser)
+    add_cache_args(parser)
     args = parser.parse_args(argv)
     try:
         network = network_from_args(args)
+        cache = cache_from_args(args)
         trace_pages = (
             parse_trace_pages(args.trace_pages)
             if args.trace_pages is not None
@@ -224,8 +268,15 @@ def main(argv: list[str] | None = None) -> int:
         Runtime.construction_hooks.append(hook)
 
     try:
-        return _dispatch(parser, args, network, jobs)
+        return _dispatch(parser, args, network, jobs, cache)
     finally:
+        if cache is not None:
+            s = cache.stats
+            print(
+                f"\nrun cache [{cache.root}]: {s.hits} hits, {s.misses} misses, "
+                f"{s.stores} stored, {s.verified} verified, "
+                f"{s.bytes_read}B read / {s.bytes_written}B written"
+            )
         if hook is not None:
             Runtime.construction_hooks.remove(hook)
             for tracer in tracers:
@@ -240,14 +291,19 @@ def main(argv: list[str] | None = None) -> int:
                 print(tracer.render_transactions(limit=50))
 
 
-def _dispatch(parser, args, network, jobs: int = 1) -> int:
+def _dispatch(parser, args, network, jobs: int = 1, cache=None) -> int:
     experiments = list(args.experiments)
     if experiments and experiments[0] == "sweep":
         if len(experiments) < 2 or experiments[1] not in ALL_APPS:
             parser.error(f"sweep needs an app name from {sorted(ALL_APPS)}")
         module = ALL_APPS[experiments[1]]
         sweep = run_sweep(
-            module, total_processors=args.processors, network=network, jobs=jobs
+            module,
+            total_processors=args.processors,
+            network=network,
+            jobs=jobs,
+            cache=cache if cache is not None else False,
+            cache_verify=args.cache_verify,
         )
         from repro.bench import render_breakdown_figure, render_metrics
 
@@ -263,9 +319,12 @@ def _dispatch(parser, args, network, jobs: int = 1) -> int:
 
     # With workers available, farm whole figures out up front; the
     # reports still print in the order the experiments were listed.
+    # With the run cache on, figures run in-process instead: cache hits
+    # skip forking entirely and the hit/miss counters stay accurate,
+    # while each figure still farms its cache *misses* to the workers.
     figure_keys = [exp for exp in experiments if exp in FIGURES]
     sweeps: dict = {}
-    if jobs > 1 and len(figure_keys) > 1:
+    if cache is None and jobs > 1 and len(figure_keys) > 1:
         sweeps = dict(
             run_figures(
                 figure_keys,
@@ -291,6 +350,8 @@ def _dispatch(parser, args, network, jobs: int = 1) -> int:
                     total_processors=args.processors,
                     network=network,
                     jobs=jobs,
+                    cache=cache if cache is not None else False,
+                    cache_verify=args.cache_verify,
                 )
             print(figure_report(exp, sweep))
             _print_network_stats(sweep)

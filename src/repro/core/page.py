@@ -104,7 +104,8 @@ class HomePage:
 
     vpn: int
     home_pid: int
-    data: np.ndarray = None  # type: ignore[assignment]  # set at creation
+    #: the home copy; always present — every creation site allocates it
+    data: np.ndarray
     state: ServerState = ServerState.READ
     read_dir: set[int] = field(default_factory=set)  # clusters w/ read copy
     write_dir: set[int] = field(default_factory=set)  # clusters w/ write copy

@@ -47,6 +47,82 @@ def test_dirty_lines_counts_distinct_lines():
     assert dirty_lines(np.array([0, 1, 2, 3, 15]), 2) == 3
 
 
+# ---------------------------------------------------------------------------
+# diff machinery edge cases (ISSUE 4 satellite)
+# ---------------------------------------------------------------------------
+
+
+def test_empty_diff_round_trip():
+    """A clean page diffs to nothing, applies as a no-op, dirties 0 lines."""
+    twin = np.arange(32, dtype=np.float64)
+    indices, values = make_diff(twin.copy(), twin)
+    assert indices.size == 0 and values.size == 0
+    home = twin.copy()
+    apply_diff(home, indices, values)
+    assert np.array_equal(home, twin)
+    assert dirty_lines(indices, 2) == 0
+
+
+def test_full_page_diff():
+    """Every word changed: diff covers the page, DMA covers every line."""
+    words, words_per_line = 128, 2
+    twin = np.zeros(words)
+    data = np.arange(1.0, words + 1.0)  # differs from 0 everywhere
+    indices, values = make_diff(data, twin)
+    assert np.array_equal(indices, np.arange(words))
+    assert np.array_equal(values, data)
+    home = np.full(words, -7.0)
+    apply_diff(home, indices, values)
+    assert np.array_equal(home, data)
+    assert dirty_lines(indices, words_per_line) == words // words_per_line
+
+
+def test_single_word_diff():
+    twin = np.zeros(16)
+    data = twin.copy()
+    data[9] = 3.5
+    indices, values = make_diff(data, twin)
+    assert list(indices) == [9]
+    assert list(values) == [3.5]
+    assert dirty_lines(indices, 2) == 1  # one word -> one line
+    home = np.zeros(16)
+    apply_diff(home, indices, values)
+    assert home[9] == 3.5 and home.sum() == 3.5
+
+
+def test_diff_words_straddle_noncontiguous_lines():
+    """Dirty words scattered across non-adjacent cache lines.
+
+    With the Alewife geometry (16 B lines, 8 B words -> 2 words/line),
+    words 1, 6, 7, and 30 fall on lines 0, 3, 3, and 15: four dirty
+    words but only three lines of DMA.
+    """
+    words_per_line = 2
+    twin = np.zeros(32)
+    data = twin.copy()
+    for w in (1, 6, 7, 30):
+        data[w] = float(w)
+    indices, values = make_diff(data, twin)
+    assert list(indices) == [1, 6, 7, 30]
+    assert dirty_lines(indices, words_per_line) == 3
+    home = np.zeros(32)
+    apply_diff(home, indices, values)
+    assert np.array_equal(home, data)
+
+
+def test_write_back_to_original_value_is_not_dirty():
+    """A word written and then restored to its twin value drops out of
+    the diff — diffs record state, not write history."""
+    twin = np.arange(8, dtype=np.float64)
+    data = twin.copy()
+    data[3] = 99.0
+    data[3] = twin[3]  # restored
+    data[5] = -1.0
+    indices, values = make_diff(data, twin)
+    assert list(indices) == [5]
+    assert list(values) == [-1.0]
+
+
 @settings(max_examples=200, deadline=None)
 @given(
     writes_a=st.dictionaries(st.integers(0, 127), st.floats(allow_nan=False, width=32)),

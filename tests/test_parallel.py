@@ -66,6 +66,43 @@ def test_parallel_map_single_item_stays_in_process():
     assert calls == [4]
 
 
+def test_parallel_map_single_cpu_stays_in_process(monkeypatch):
+    # Forking on a 1-core box is strictly slower (the committed perf
+    # baseline shows 0.178s parallel vs 0.150s serial); parallel_map
+    # must fall back to the plain loop.
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    calls = []
+
+    def local(x):  # unpicklable closure: proves no pool was spawned
+        calls.append(x)
+        return -x
+
+    assert parallel_map(local, [(1,), (2,), (3,)], jobs=4) == [-1, -2, -3]
+    assert calls == [1, 2, 3]
+
+
+def test_parallel_map_priorities_preserve_input_order(monkeypatch):
+    # Priorities reorder *submission* (longest-job-first), never results.
+    monkeypatch.setattr(os, "cpu_count", lambda: 2)
+    assert parallel_map(
+        abs, [(-1,), (2,), (-3,), (-4,)], jobs=2, priorities=[0.1, 5.0, None, 1.0]
+    ) == [1, 2, 3, 4]
+
+
+def test_parallel_map_priorities_length_mismatch_raises():
+    with pytest.raises(ValueError, match="priorities"):
+        parallel_map(abs, [(-1,), (2,)], jobs=2, priorities=[1.0])
+
+
+def test_submission_order_is_longest_first_unknowns_lead():
+    from repro.bench.parallel import _submission_order
+
+    assert _submission_order(4, [0.1, 5.0, None, 1.0]) == [2, 1, 3, 0]
+    assert _submission_order(3, None) == [0, 1, 2]
+    # ties keep input order (stable, deterministic)
+    assert _submission_order(3, [1.0, 1.0, 2.0]) == [2, 0, 1]
+
+
 # ---------------------------------------------------------------------------
 # sweeps: serial and parallel are byte-identical
 # ---------------------------------------------------------------------------
