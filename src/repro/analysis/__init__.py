@@ -1,0 +1,79 @@
+"""repro.analysis: protocol checkers for the MGS reproduction.
+
+Three cooperating, default-off tools (see docs/ANALYSIS.md):
+
+* :class:`InvariantSanitizer` — validates every bus message and the
+  protocol state it acts on against the legal arcs of docs/PROTOCOL.md;
+  raises :class:`InvariantViolation` with the transaction trace.
+* :class:`RaceDetector` — vector-clock happens-before race detection
+  over the release-consistency synchronization (locks, barriers);
+  :meth:`RaceDetector.certify` raises :class:`RaceError` on races.
+* :mod:`repro.analysis.lint` — a static determinism pass, runnable as
+  ``python -m repro.analysis.lint``.
+
+Enable dynamically via ``Runtime(config, analysis=...)`` (accepts
+``"invariants"``, ``"races"``, ``"all"``/``True``, or an
+:class:`AnalysisConfig`), the ``--analyze`` CLI flag, or the
+``protocol_sanitizer`` pytest fixture.  All checkers are pure observers:
+they charge no simulated cycles, so even *enabled* runs are cycle-
+identical, and disabled runs take exactly the pre-analysis code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.analysis.invariants import InvariantSanitizer, InvariantViolation
+from repro.analysis.mutations import MUTATIONS, apply_mutation
+from repro.analysis.races import Race, RaceDetector, RaceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.runner import Runtime
+
+__all__ = [
+    "AnalysisConfig",
+    "InvariantSanitizer",
+    "InvariantViolation",
+    "MUTATIONS",
+    "Race",
+    "RaceDetector",
+    "RaceError",
+    "apply_mutation",
+    "setup_analysis",
+]
+
+
+@dataclass
+class AnalysisConfig:
+    """Which checkers ``Runtime(analysis=...)`` should attach."""
+
+    invariants: bool = True
+    races: bool = False
+    race_granularity: str = "word"  # or "page"
+
+
+def setup_analysis(rt: "Runtime", spec) -> AnalysisConfig:
+    """Attach the checkers requested by ``spec`` to a runtime.
+
+    ``spec`` may be ``True``/``"all"`` (sanitizer + race detector),
+    ``"invariants"``, ``"races"``, or an :class:`AnalysisConfig`.
+    """
+    if isinstance(spec, AnalysisConfig):
+        config = spec
+    elif spec is True or spec == "all":
+        config = AnalysisConfig(invariants=True, races=True)
+    elif spec == "invariants":
+        config = AnalysisConfig(invariants=True, races=False)
+    elif spec == "races":
+        config = AnalysisConfig(invariants=False, races=True)
+    else:
+        raise ValueError(
+            f"analysis must be 'invariants', 'races', 'all', True, or an "
+            f"AnalysisConfig: {spec!r}"
+        )
+    if config.invariants:
+        InvariantSanitizer(rt)
+    if config.races:
+        RaceDetector(rt, granularity=config.race_granularity)
+    return config

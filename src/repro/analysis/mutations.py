@@ -1,0 +1,145 @@
+"""Seeded protocol corruptions for validating the invariant sanitizer.
+
+Each mutation deliberately breaks one protocol rule the way a real bug
+would — a handler forgetting a bookkeeping step, a message dropped, an
+acknowledgement duplicated — by wrapping the live bus handlers or engine
+methods of a runtime.  ``tests/test_analysis_mutations.py`` asserts the
+:class:`~repro.analysis.invariants.InvariantSanitizer` catches every one
+(either mid-run, at message delivery, or in the quiescence sweep).
+
+Usage::
+
+    rt = Runtime(config, analysis="invariants")
+    apply_mutation(rt, "skip_pinv_ack")
+    ... drive the protocol ...
+    rt.sanitizer.check_quiescent()   # raises InvariantViolation
+
+The registry maps mutation name -> (description, applier).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.runner import Runtime
+
+__all__ = ["MUTATIONS", "apply_mutation"]
+
+
+def _wrap_handler(rt: "Runtime", label: str, wrapper: Callable) -> None:
+    """Replace one bus handler with ``wrapper(original, msg)``."""
+    handlers = rt.protocol.bus._handlers
+    original = handlers[label]
+    handlers[label] = lambda msg: wrapper(original, msg)
+
+
+def _skip_pinv_ack(rt: "Runtime") -> None:
+    """Swallow the first PINV_ACK: the shootdown never completes, the
+    release round hangs, and its transaction stays open forever."""
+    state = {"dropped": False}
+
+    def wrapper(original, msg):
+        if not state["dropped"]:
+            state["dropped"] = True
+            return
+        original(msg)
+
+    _wrap_handler(rt, "PINV_ACK", wrapper)
+
+
+def _forget_directory_refill(rt: "Runtime") -> None:
+    """Grant a write copy but forget to record it in ``write_dir``: the
+    next release round would skip invalidating that cluster."""
+
+    def wrapper(original, msg):
+        original(msg)
+        rt.protocol.home(msg.vpn).write_dir.discard(msg.dst_cluster)
+
+    _wrap_handler(rt, "WDAT", wrapper)
+
+
+def _drop_twin(rt: "Runtime") -> None:
+    """Lose the twin of a freshly granted write copy: the eventual
+    diff would be impossible (or would ship the whole page as changes)."""
+
+    def wrapper(original, msg):
+        original(msg)
+        frame = rt.protocol.frames[msg.dst_cluster].get(msg.vpn)
+        if frame is not None and not frame.aliases_home:
+            frame.twin = None
+
+    _wrap_handler(rt, "WDAT", wrapper)
+
+
+def _leak_duq(rt: "Runtime") -> None:
+    """Shoot down a TLB entry but leave its DUQ entry behind: the next
+    release would push a page the processor no longer has mapped."""
+
+    def wrapper(original, msg):
+        original(msg)
+        rt.protocol.duqs[msg.dst_pid].add(msg.vpn)
+        rt.protocol.stolen[msg.dst_pid].discard(msg.vpn)
+
+    _wrap_handler(rt, "PINV", wrapper)
+
+
+def _double_rack(rt: "Runtime") -> None:
+    """Acknowledge every release twice: the duplicate RACK matches no
+    outstanding REL."""
+    server = rt.protocol.server
+    original = server._send_rack
+
+    def wrapper(home, rel, at):
+        original(home, rel, at)
+        original(home, rel, at)
+
+    server._send_rack = wrapper
+
+
+def _dir_exclusion(rt: "Runtime") -> None:
+    """Record a read grant in *both* directories: the exclusion between
+    read_dir and write_dir is broken."""
+
+    def wrapper(original, msg):
+        original(msg)
+        home = rt.protocol.home(msg.vpn)
+        home.write_dir.add(msg.dst_cluster)
+
+    _wrap_handler(rt, "RDAT", wrapper)
+
+
+MUTATIONS: dict[str, tuple[str, Callable[["Runtime"], None]]] = {
+    "skip_pinv_ack": (
+        "swallow a PINV_ACK so a release round never completes",
+        _skip_pinv_ack,
+    ),
+    "forget_directory_refill": (
+        "grant a write copy without recording it in write_dir",
+        _forget_directory_refill,
+    ),
+    "drop_twin": (
+        "lose the twin of a write copy",
+        _drop_twin,
+    ),
+    "leak_duq": (
+        "leave a DUQ entry behind after its TLB shootdown",
+        _leak_duq,
+    ),
+    "double_rack": (
+        "acknowledge every REL twice",
+        _double_rack,
+    ),
+    "dir_exclusion": (
+        "record a read grant in both directories",
+        _dir_exclusion,
+    ),
+}
+
+
+def apply_mutation(rt: "Runtime", name: str) -> str:
+    """Apply one named corruption to a live runtime; returns its
+    description."""
+    description, applier = MUTATIONS[name]
+    applier(rt)
+    return description

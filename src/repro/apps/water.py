@@ -139,9 +139,10 @@ def build(rt: Runtime, params: WaterParams):
             # ---- force phase ------------------------------------------
             local_force: dict[int, np.ndarray] = {}
             local_pe = 0.0
-            # Reset the global PE exactly once per iteration (proc 0).
-            if env.pid == 0:
-                yield from env.write(stats.addr(0), 0.0)
+            # The global PE is zero on entry: initially from stats.init,
+            # afterwards from the previous update phase's reset — both
+            # ordered before this phase by a barrier.  (Resetting here
+            # instead would race the other processors' accumulations.)
             pos_cache: dict[int, np.ndarray] = {}
 
             def read_pos(i):
@@ -191,6 +192,11 @@ def build(rt: Runtime, params: WaterParams):
             yield from env.barrier()
 
             # ---- update phase -----------------------------------------
+            # Reset the global PE for the next iteration (proc 0).  The
+            # barriers on both sides order the reset after this
+            # iteration's accumulations and before the next one's.
+            if env.pid == 0 and _it + 1 < params.iterations:
+                yield from env.write(stats.addr(0), 0.0)
             for i in mine:
                 for k in range(3):
                     f = yield from env.read(mol_addr(i, FRC + k))

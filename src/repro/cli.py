@@ -235,6 +235,12 @@ def main(argv: list[str] | None = None) -> int:
         help="trace protocol traffic for these vpns ('all' or e.g. '256,257'); "
         "prints transaction-grouped traces after each run",
     )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="attach the protocol invariant sanitizer (repro.analysis) to "
+        "every run; violations abort with the transaction trace",
+    )
     add_network_args(parser)
     add_cache_args(parser)
     args = parser.parse_args(argv)
@@ -267,6 +273,23 @@ def main(argv: list[str] | None = None) -> int:
 
         Runtime.construction_hooks.append(hook)
 
+    sanitizers: list = []
+    analyze_hook = None
+    if args.analyze:
+        if jobs > 1:
+            print(
+                "--analyze needs in-process runs; ignoring --jobs",
+                file=sys.stderr,
+            )
+            jobs = 1
+        from repro.analysis import InvariantSanitizer
+        from repro.runtime import Runtime
+
+        def analyze_hook(rt):
+            sanitizers.append(InvariantSanitizer(rt))
+
+        Runtime.construction_hooks.append(analyze_hook)
+
     try:
         return _dispatch(parser, args, network, jobs, cache)
     finally:
@@ -276,6 +299,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"\nrun cache [{cache.root}]: {s.hits} hits, {s.misses} misses, "
                 f"{s.stores} stored, {s.verified} verified, "
                 f"{s.bytes_read}B read / {s.bytes_written}B written"
+            )
+        if analyze_hook is not None:
+            from repro.runtime import Runtime
+
+            Runtime.construction_hooks.remove(analyze_hook)
+            checked = sum(s.checked for s in sanitizers)
+            print(
+                f"\nanalysis: {len(sanitizers)} run(s) sanitized, "
+                f"{checked} protocol messages checked, 0 violations"
             )
         if hook is not None:
             Runtime.construction_hooks.remove(hook)

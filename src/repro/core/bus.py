@@ -227,6 +227,14 @@ class MessageBus:
         """Observe transaction lifecycle: ``tap("begin"|"end", record)``."""
         self._txn_taps.append(tap)
 
+    def remove_tap(self, tap: Callable[[ProtocolMessage, int, int], None]) -> None:
+        """Detach a message tap added with :meth:`add_tap`."""
+        self._taps.remove(tap)
+
+    def remove_txn_tap(self, tap: Callable[[str, Transaction], None]) -> None:
+        """Detach a transaction tap added with :meth:`add_txn_tap`."""
+        self._txn_taps.remove(tap)
+
     def flow_summary(self) -> dict[str, dict[str, int]]:
         """Per-message-type counts/bytes/latency, JSON-ready."""
         return {label: f.as_dict() for label, f in sorted(self.flows.items())}

@@ -38,6 +38,10 @@ class DUQ:
             return True
         return False
 
+    def vpns(self) -> list[int]:
+        """The queued pages, oldest first (for inspection/analysis)."""
+        return list(self._pages)
+
     def pop_head(self) -> int:
         """Dequeue the oldest dirty page."""
         vpn = next(iter(self._pages))

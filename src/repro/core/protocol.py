@@ -223,7 +223,7 @@ class MGSProtocol:
                         f"write mapping of vpn {vpn} on proc {pid} not in DUQ"
                     )
         for vpn, home in self.homes.items():
-            for cluster in home.write_dir:
+            for cluster in sorted(home.write_dir):
                 frame = self.frame(cluster, vpn)
                 assert frame is not None, (
                     f"write_dir of vpn {vpn} lists cluster {cluster} with no frame"

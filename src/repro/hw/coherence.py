@@ -203,7 +203,7 @@ class CacheSystem:
                 )
             else:
                 # Invalidate shared copies; cost scales with parties involved.
-                third = next(iter(others))
+                third = min(others)
                 klass = self._party_class(pid, home_pid, third)
                 if len(others) > 1:
                     klass = AccessClass.THREE_PARTY

@@ -145,6 +145,12 @@ class Env:
             self.read_block = self._read_block_slow
             self.write_block = self._write_block_slow
             self.read_many = self._read_many_slow
+        detector = runtime.race_detector
+        if detector is not None:
+            # Opt-in happens-before race detection (repro.analysis):
+            # rebinds the five operations to recording wrappers that
+            # delegate to the originals unchanged and charge nothing.
+            detector.instrument(self)
 
     # ------------------------------------------------------------------
     # fast-path cache maintenance

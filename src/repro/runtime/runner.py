@@ -104,6 +104,7 @@ class Runtime:
         costs: CostModel | None = None,
         quantum: int = 1500,
         fastpath: bool | None = None,
+        analysis=None,
     ) -> None:
         self.config = config
         self.costs = costs if costs is not None else CostModel()
@@ -122,6 +123,15 @@ class Runtime:
         self.locks: list[MGSLock] = []
         self.threads: list[ThreadContext] = []
         self._spawned = False
+        # Opt-in checkers (see repro.analysis): pure observers, attached
+        # before threads spawn so Env instrumentation sees them.  Both
+        # stay None — and every hot path identical — when analysis is off.
+        self.sanitizer = None
+        self.race_detector = None
+        if analysis:
+            from repro.analysis import setup_analysis
+
+            setup_analysis(self, analysis)
         for hook in Runtime.construction_hooks:
             hook(self)
 
@@ -164,6 +174,19 @@ class Runtime:
         for _ in range(self.config.total_processors):
             self.spawn(genfunc)
 
+    def annotate_benign_race(
+        self, addr: int, words: int = 1, reason: str = ""
+    ) -> None:
+        """Declare a documented benign race (no-op without a detector).
+
+        Applications use this for accesses that race by design — e.g.
+        TSP's unlocked read of the monotonically tightening incumbent
+        bound — so :class:`~repro.analysis.races.RaceDetector` can
+        certify the rest of the execution race-free.
+        """
+        if self.race_detector is not None:
+            self.race_detector.exempt(addr, words, reason)
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -180,6 +203,8 @@ class Runtime:
             raise RuntimeError(
                 f"threads {unfinished} never finished (deadlock or missing barrier)"
             )
+        if self.sanitizer is not None:
+            self.sanitizer.check_quiescent()
         total = max(t.finish_time for t in self.threads)
         lock_stats = LockStats()
         for lk in self.locks:
@@ -261,12 +286,24 @@ class Runtime:
 
     def _handle_lock(self, t: ThreadContext, lk: MGSLock) -> None:
         t.block_start = t.time
-        self.sim.schedule_at(
-            t.time, lk.acquire, t.pid, lambda: self._wake(t, "lock")
-        )
+        detector = self.race_detector
+        if detector is None:
+            wake = lambda: self._wake(t, "lock")  # noqa: E731
+        else:
+            # Happens-before: join the lock's clock at acquisition time.
+            def wake() -> None:
+                detector.on_acquire(t.pid, lk.lock_id)
+                self._wake(t, "lock")
+
+        self.sim.schedule_at(t.time, lk.acquire, t.pid, wake)
 
     def _handle_unlock(self, t: ThreadContext, lk: MGSLock) -> None:
         t.block_start = t.time
+        if self.race_detector is not None:
+            # Happens-before: publish the thread's clock through the
+            # lock at the release point (before the DUQ flush; the
+            # thread performs no accesses in between).
+            self.race_detector.on_release(t.pid, lk.lock_id)
         if self.config.hardware_only:
             self.sim.schedule_at(
                 t.time, lk.release, t.pid, lambda: self._wake(t, "lock")
@@ -287,10 +324,20 @@ class Runtime:
 
     def _handle_barrier(self, t: ThreadContext) -> None:
         t.block_start = t.time
+        detector = self.race_detector
+        if detector is None:
+            wake = lambda: self._wake(t, "barrier")  # noqa: E731
+        else:
+            # Happens-before: a barrier is a release by all arrivals
+            # followed by an acquire by all departures.
+            detector.on_barrier_arrive(t.pid)
+
+            def wake() -> None:
+                detector.on_barrier_depart(t.pid)
+                self._wake(t, "barrier")
+
         if self.config.hardware_only:
-            self.sim.schedule_at(
-                t.time, self.barrier_obj.arrive, t.pid, lambda: self._wake(t, "barrier")
-            )
+            self.sim.schedule_at(t.time, self.barrier_obj.arrive, t.pid, wake)
             return
 
         def after_flush() -> None:
@@ -298,6 +345,6 @@ class Runtime:
             t.mgs += now - t.block_start
             t.time = now
             t.block_start = now
-            self.barrier_obj.arrive(t.pid, lambda: self._wake(t, "barrier"))
+            self.barrier_obj.arrive(t.pid, wake)
 
         self.sim.schedule_at(t.time, self.protocol.release, t.pid, after_flush)

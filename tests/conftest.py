@@ -8,6 +8,32 @@ package); this fallback lets the suite run from a clean checkout too.
 import sys
 from pathlib import Path
 
+import pytest
+
 SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+
+@pytest.fixture(scope="module")
+def protocol_sanitizer():
+    """Attach the invariant sanitizer to every Runtime built in a module.
+
+    Opt in with ``pytestmark = pytest.mark.usefixtures("protocol_sanitizer")``
+    (the fuzz/property/race suites do).  Module-scoped so hypothesis does
+    not see a function-scoped fixture; the hook is removed afterwards so
+    other modules run unobserved.
+    """
+    from repro.analysis import InvariantSanitizer
+    from repro.runtime import Runtime
+
+    sanitizers = []
+
+    def hook(rt):
+        sanitizers.append(InvariantSanitizer(rt))
+
+    Runtime.construction_hooks.append(hook)
+    try:
+        yield sanitizers
+    finally:
+        Runtime.construction_hooks.remove(hook)

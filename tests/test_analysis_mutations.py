@@ -1,0 +1,135 @@
+"""Seeded protocol corruptions: the sanitizer must catch every one.
+
+Each test applies one mutation from :mod:`repro.analysis.mutations` —
+a deliberately introduced protocol bug — then drives the protocol
+directly (the way ``test_protocol_races.py`` does) and asserts an
+:class:`InvariantViolation` fires, either at message delivery or in the
+quiescence sweep.  A final test pins that the registry and this file
+stay in sync: a new mutation without a detection test fails here.
+"""
+
+import pytest
+
+from repro.analysis import MUTATIONS, InvariantViolation, apply_mutation
+from repro.params import MachineConfig
+from repro.runtime import Runtime
+
+DETECTED_BY = {
+    "skip_pinv_ack": "quiesce",
+    "forget_directory_refill": "quiesce-refill",
+    "drop_twin": "quiesce-twin",
+    "leak_duq": "quiesce-duq",
+    "double_rack": "rack-unmatched",
+    "dir_exclusion": "dir-exclusion",
+}
+
+
+def make_rt(nclusters=2, cluster_size=1):
+    config = MachineConfig(
+        total_processors=nclusters * cluster_size,
+        cluster_size=cluster_size,
+        inter_ssmp_delay=1000,
+    )
+    rt = Runtime(config, analysis="invariants")
+    arr = rt.array("page", config.words_per_page, home=0)
+    vpn = arr.base // config.page_size
+    return rt, vpn
+
+
+def fault(rt, pid, vpn, write=False):
+    rt.protocol.fault(pid, vpn, write, lambda: None)
+    rt.sim.run(max_events=300_000)
+
+
+def release(rt, pid):
+    rt.protocol.release(pid, lambda: None)
+    rt.sim.run(max_events=300_000)
+
+
+def test_skip_pinv_ack_detected():
+    """A swallowed PINV_ACK leaves the release round hanging forever."""
+    rt, vpn = make_rt(nclusters=2, cluster_size=2)
+    fault(rt, 2, vpn)  # cluster 1: two read mappings -> PINVs on inval
+    fault(rt, 3, vpn)
+    fault(rt, 0, vpn, write=True)
+    apply_mutation(rt, "skip_pinv_ack")
+    with pytest.raises(InvariantViolation) as exc:
+        release(rt, 0)  # the round never completes...
+        rt.sanitizer.check_quiescent()  # ...so quiescence finds the leak
+    assert exc.value.rule.startswith("quiesce")
+
+
+def test_forget_directory_refill_detected():
+    """A write copy missing from write_dir is a forgotten refill."""
+    rt, vpn = make_rt()
+    apply_mutation(rt, "forget_directory_refill")
+    with pytest.raises(InvariantViolation) as exc:
+        fault(rt, 1, vpn, write=True)
+        rt.sanitizer.check_quiescent()
+    assert exc.value.rule == "quiesce-refill"
+
+
+def test_drop_twin_detected():
+    """A write copy with no twin could never produce a diff."""
+    rt, vpn = make_rt()
+    apply_mutation(rt, "drop_twin")
+    with pytest.raises(InvariantViolation) as exc:
+        fault(rt, 1, vpn, write=True)
+        rt.sanitizer.check_quiescent()
+    assert exc.value.rule == "quiesce-twin"
+
+
+def test_leak_duq_detected():
+    """A DUQ entry surviving its TLB shootdown is a leak."""
+    rt, vpn = make_rt(nclusters=2, cluster_size=2)
+    fault(rt, 0, vpn, write=True)  # both cluster-0 procs write-map it
+    fault(rt, 1, vpn, write=True)
+    fault(rt, 2, vpn, write=True)  # concurrent writer in cluster 1
+    apply_mutation(rt, "leak_duq")
+    with pytest.raises(InvariantViolation) as exc:
+        release(rt, 2)  # the round shoots down cluster 0's mappings
+        rt.sanitizer.check_quiescent()
+    assert exc.value.rule in ("quiesce-duq", "quiesce-stolen")
+
+
+def test_double_rack_detected():
+    """The duplicate RACK answers no outstanding REL."""
+    rt, vpn = make_rt()
+    apply_mutation(rt, "double_rack")
+    with pytest.raises(InvariantViolation) as exc:
+        fault(rt, 1, vpn, write=True)
+        release(rt, 1)
+        rt.sanitizer.check_quiescent()
+    assert exc.value.rule == "rack-unmatched"
+
+
+def test_dir_exclusion_detected():
+    """A cluster in both directories breaks read/write exclusion."""
+    rt, vpn = make_rt()
+    apply_mutation(rt, "dir_exclusion")
+    with pytest.raises(InvariantViolation) as exc:
+        fault(rt, 1, vpn)
+        rt.sanitizer.check_quiescent()
+    assert exc.value.rule == "dir-exclusion"
+
+
+def test_every_registered_mutation_has_a_test():
+    assert set(MUTATIONS) == set(DETECTED_BY)
+
+
+def test_mutation_descriptions_are_informative():
+    for name, (description, _applier) in MUTATIONS.items():
+        assert description, name
+    assert apply_mutation(make_rt()[0], "drop_twin") == MUTATIONS["drop_twin"][0]
+
+
+def test_unmutated_baseline_is_clean():
+    """The same drives pass the sanitizer when nothing is corrupted."""
+    rt, vpn = make_rt(nclusters=2, cluster_size=2)
+    fault(rt, 2, vpn)
+    fault(rt, 3, vpn)
+    fault(rt, 0, vpn, write=True)
+    release(rt, 0)
+    fault(rt, 1, vpn, write=True)
+    release(rt, 1)
+    rt.sanitizer.check_quiescent()

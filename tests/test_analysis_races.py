@@ -1,0 +1,204 @@
+"""The release-consistency race detector.
+
+Directed programs exercise the happens-before rules (locks, barriers,
+exemptions); then the five paper applications are certified data-race-
+free at word granularity, and a deliberately racy workload is flagged.
+"""
+
+import pytest
+
+from repro.analysis import Race, RaceDetector, RaceError
+from repro.apps import barnes_hut, jacobi, matmul, tsp, water
+from repro.params import MachineConfig
+from repro.runtime import Runtime
+
+
+def make_rt(total=4, cluster=2, **kw):
+    config = MachineConfig(total_processors=total, cluster_size=cluster)
+    return Runtime(config, analysis="races", **kw)
+
+
+def shared_word(rt):
+    arr = rt.array("shared", rt.config.words_per_page, home=0)
+    arr.init([0.0] * rt.config.words_per_page)
+    return arr
+
+
+class TestDirectedPrograms:
+    def test_locked_counter_is_race_free(self):
+        rt = make_rt()
+        arr = shared_word(rt)
+        lk = rt.create_lock()
+
+        def worker(env):
+            for _ in range(3):
+                yield from env.lock(lk)
+                v = yield from env.read(arr.addr(0))
+                yield from env.write(arr.addr(0), v + 1.0)
+                yield from env.unlock(lk)
+            yield from env.barrier()
+
+        rt.spawn_all(worker)
+        rt.run()
+        rt.race_detector.certify()
+        assert arr.snapshot()[0] == 3.0 * rt.config.total_processors
+
+    def test_unlocked_writes_are_flagged(self):
+        rt = make_rt()
+        arr = shared_word(rt)
+
+        def worker(env):
+            yield from env.write(arr.addr(0), float(env.pid))
+            yield from env.barrier()
+
+        rt.spawn_all(worker)
+        rt.run()
+        races = rt.race_detector.races
+        assert races, "unlocked write-write conflict was not flagged"
+        assert all(r.kind == "write" for r in races)
+        with pytest.raises(RaceError, match="data race"):
+            rt.race_detector.certify()
+
+    def test_unlocked_read_of_write_is_flagged(self):
+        rt = make_rt()
+        arr = shared_word(rt)
+
+        def worker(env):
+            if env.pid == 0:
+                yield from env.write(arr.addr(0), 1.0)
+            else:
+                yield from env.compute(5000)
+                yield from env.read(arr.addr(0))
+            yield from env.barrier()
+
+        rt.spawn_all(worker)
+        rt.run()
+        assert any(
+            r.prev_kind == "write" and r.kind in ("read", "write")
+            for r in rt.race_detector.races
+        )
+
+    def test_barrier_orders_phases(self):
+        rt = make_rt()
+        arr = shared_word(rt)
+
+        def worker(env):
+            if env.pid == 0:
+                yield from env.write(arr.addr(0), 7.0)
+            yield from env.barrier()
+            yield from env.read(arr.addr(0))  # ordered: after the barrier
+            yield from env.barrier()
+            if env.pid == 1:
+                yield from env.write(arr.addr(0), 8.0)  # ordered too
+            yield from env.barrier()
+
+        rt.spawn_all(worker)
+        rt.run()
+        rt.race_detector.certify()
+
+    def test_exemption_suppresses_declared_races(self):
+        rt = make_rt()
+        arr = shared_word(rt)
+        rt.annotate_benign_race(arr.addr(0), words=1, reason="test")
+
+        def worker(env):
+            yield from env.write(arr.addr(0), float(env.pid))
+            yield from env.write(arr.addr(1), float(env.pid))  # not exempt
+            yield from env.barrier()
+
+        rt.spawn_all(worker)
+        rt.run()
+        assert all(r.addr != arr.addr(0) for r in rt.race_detector.races)
+        assert any(r.addr == arr.addr(1) for r in rt.race_detector.races)
+
+    def test_word_granularity_allows_false_sharing(self):
+        """Different words of one page, different procs: no race."""
+        rt = make_rt()
+        arr = shared_word(rt)
+
+        def worker(env):
+            yield from env.write(arr.addr(env.pid), 1.0)
+            yield from env.barrier()
+
+        rt.spawn_all(worker)
+        rt.run()
+        rt.race_detector.certify()
+
+    def test_page_granularity_flags_false_sharing(self):
+        from repro.analysis import AnalysisConfig
+
+        config = MachineConfig(total_processors=4, cluster_size=2)
+        rt = Runtime(config, analysis=AnalysisConfig(
+            invariants=False, races=True, race_granularity="page"
+        ))
+        arr = shared_word(rt)
+
+        def worker(env):
+            yield from env.write(arr.addr(env.pid), 1.0)
+            yield from env.barrier()
+
+        rt.spawn_all(worker)
+        rt.run()
+        assert rt.race_detector.races
+
+    def test_block_accesses_are_tracked(self):
+        rt = make_rt()
+        arr = shared_word(rt)
+
+        def worker(env):
+            yield from env.write_block(arr.addr(0), [1.0, 2.0])
+            values = yield from env.read_block(arr.addr(0), 2)
+            assert len(values) == 2
+            yield from env.barrier()
+
+        rt.spawn_all(worker)
+        rt.run()
+        assert rt.race_detector.races  # overlapping unlocked blocks
+
+    def test_race_describe(self):
+        race = Race(addr=0x100, vpn=0, prev_pid=1, prev_kind="write",
+                    pid=2, kind="read")
+        assert "write by proc 1" in race.describe()
+        assert "races read by proc 2" in race.describe()
+
+    def test_bad_granularity_rejected(self):
+        rt = Runtime(MachineConfig(total_processors=2, cluster_size=1))
+        with pytest.raises(ValueError, match="granularity"):
+            RaceDetector(rt, granularity="line")
+
+
+#: the five paper applications with the small shapes test_apps.py uses
+PAPER_APPS = [
+    ("jacobi", jacobi, jacobi.JacobiParams(n=24, iterations=3)),
+    ("matmul", matmul, matmul.MatmulParams(n=12)),
+    ("tsp", tsp, tsp.TSPParams(ncities=7)),
+    ("water", water, water.WaterParams(n_molecules=19, iterations=2)),
+    (
+        "barnes-hut",
+        barnes_hut,
+        barnes_hut.BarnesHutParams(n_bodies=24, iterations=2),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,module,params", PAPER_APPS, ids=[n for n, _, _ in PAPER_APPS]
+)
+def test_paper_apps_certified_race_free(name, module, params):
+    """Every paper application is data-race-free at word granularity
+    (modulo its documented benign-race annotations)."""
+    detectors = []
+
+    def hook(rt):
+        detectors.append(RaceDetector(rt))
+
+    Runtime.construction_hooks.append(hook)
+    try:
+        app = module.run(
+            MachineConfig(total_processors=4, cluster_size=2), params
+        )
+    finally:
+        Runtime.construction_hooks.remove(hook)
+    assert app.valid
+    (detector,) = detectors
+    detector.certify()

@@ -7,11 +7,16 @@ protocol must preserve every lock-protected update and the final barrier
 must make the home copies authoritative.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.params import MachineConfig, ProtocolOptions
 from repro.runtime import Runtime
+
+# Random programs run under the invariant sanitizer (see repro.analysis);
+# Runtime.run() calls its quiescence sweep after the final barrier.
+pytestmark = pytest.mark.usefixtures("protocol_sanitizer")
 
 
 @st.composite

@@ -7,12 +7,17 @@ checks structural invariants at quiescence — the protocol equivalent of
 a model checker's safety sweep over random schedules.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.page import FrameState, ServerState
 from repro.params import MachineConfig, ProtocolOptions
 from repro.runtime import Runtime
+
+# Every storm runs under the invariant sanitizer: each delivered message
+# is checked against the Table 1/2 arcs while the fuzzer shakes the tree.
+pytestmark = pytest.mark.usefixtures("protocol_sanitizer")
 
 
 @st.composite
@@ -93,3 +98,5 @@ def test_random_storms_quiesce_consistently(storm):
             assert not frame.waiters and not frame.queued_invals
             assert frame.inval_kind is None
     rt.protocol.check_invariants()
+    if rt.sanitizer is not None:
+        rt.sanitizer.check_quiescent()

@@ -7,10 +7,15 @@ home-cluster aliases.
 """
 
 import numpy as np
+import pytest
 
 from repro.core.page import FrameState
 from repro.params import MachineConfig
 from repro.runtime import Runtime
+
+# The directed races run under the invariant sanitizer: every message in
+# these deliberately nasty interleavings is checked against the arcs.
+pytestmark = pytest.mark.usefixtures("protocol_sanitizer")
 
 
 def make_rt(nclusters=3, cluster_size=2, delay=1000):
