@@ -58,8 +58,10 @@ class Finding:
 ORDER_SENSITIVE_PARTS = ("core", "runtime", "sync", "svm", "hw", "net")
 ORDER_SENSITIVE_FILES = ("machine.py", "sim.py", "trace.py")
 
-#: modules allowed to read the wall clock (measuring it is their job)
-WALL_CLOCK_EXEMPT_PARTS = ("bench",)
+#: modules allowed to read the wall clock: ``bench`` measures it, and
+#: ``serve`` needs real time for rate limiting, ETAs, and job timestamps
+#: (neither feeds the simulation event stream)
+WALL_CLOCK_EXEMPT_PARTS = ("bench", "serve")
 
 WALL_CLOCK_ATTRS = {
     "time": {"time", "time_ns", "perf_counter", "perf_counter_ns",

@@ -58,14 +58,22 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from repro.params import CostModel, MachineConfig, NetworkConfig, ProtocolOptions
+try:  # POSIX-only; the index merge degrades gracefully without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+from repro.params import CostModel, MachineConfig, machine_config_from_dict
 from repro.runtime import RunResult
 from repro.runtime.thread import ThreadContext
 
@@ -219,10 +227,7 @@ def _config_to_dict(config: MachineConfig) -> dict:
 
 
 def _config_from_dict(d: dict) -> MachineConfig:
-    d = dict(d)
-    d["network"] = NetworkConfig(**d["network"])
-    d["options"] = ProtocolOptions(**d["options"])
-    return MachineConfig(**d)
+    return machine_config_from_dict(d)
 
 
 def run_result_to_dict(result: RunResult) -> dict:
@@ -330,11 +335,26 @@ class CacheStats:
         }
 
 
+#: process-wide uniquifier for temporary file names (two threads of one
+#: process writing the same key must never share a tmp path)
+_TMP_COUNTER = itertools.count()
+
+
 class RunCache:
     """Persistent, content-addressed store of serialized ``AppRun``s.
 
     One instance tracks its own :class:`CacheStats`; construct a fresh
     instance per sweep/CLI invocation when you want per-run counters.
+
+    The store is safe for concurrent use by multiple threads *and*
+    multiple processes sharing one ``REPRO_CACHE_DIR`` (the
+    ``repro.serve`` daemon does both): entry files are written to a
+    per-pid/thread/sequence temporary name and published with an atomic
+    ``os.replace``, counter updates are guarded by an in-process lock,
+    and the wall-time index is maintained read-merge-write under an
+    advisory ``flock`` so concurrent writers cannot lose each other's
+    entries.  Identical keys always carry identical bytes, so last-wins
+    replacement of an entry is harmless.
     """
 
     def __init__(
@@ -352,6 +372,7 @@ class RunCache:
             raise ValueError("verify_fraction must be in (0, 1]")
         self.verify_fraction = verify_fraction
         self._index: dict | None = None
+        self._mutex = threading.Lock()
 
     # -- keys ----------------------------------------------------------
 
@@ -383,13 +404,16 @@ class RunCache:
             raw = path.read_bytes()
             entry = json.loads(raw)
         except (OSError, ValueError):
-            self.stats.misses += 1
+            with self._mutex:
+                self.stats.misses += 1
             return None
         if entry.get("cache_schema") != CACHE_SCHEMA or entry.get("key") != key:
-            self.stats.misses += 1
+            with self._mutex:
+                self.stats.misses += 1
             return None
-        self.stats.hits += 1
-        self.stats.bytes_read += len(raw)
+        with self._mutex:
+            self.stats.hits += 1
+            self.stats.bytes_read += len(raw)
         return entry
 
     def put(
@@ -415,12 +439,25 @@ class RunCache:
         blob = (json.dumps(entry, sort_keys=True, indent=1) + "\n").encode()
         path = self._entry_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(self._tmp_suffix())
         tmp.write_bytes(blob)
         os.replace(tmp, path)
-        self.stats.stores += 1
-        self.stats.bytes_written += len(blob)
+        with self._mutex:
+            self.stats.stores += 1
+            self.stats.bytes_written += len(blob)
         self._index_put(key, entry["meta"])
+
+    @staticmethod
+    def _tmp_suffix() -> str:
+        """A collision-free temporary suffix.
+
+        pid alone is not enough: the serve daemon's worker threads share
+        a pid, and two threads writing the same key through one tmp path
+        could publish a torn entry via ``os.replace``.
+        """
+        return (
+            f".tmp.{os.getpid()}.{threading.get_ident()}.{next(_TMP_COUNTER)}"
+        )
 
     # -- wall-time index (cost-aware scheduling) -----------------------
 
@@ -428,26 +465,55 @@ class RunCache:
     def _index_path(self) -> Path:
         return self.root / "index.json"
 
+    @contextmanager
+    def _index_flock(self):
+        """Advisory cross-process lock around index read-merge-write."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.root / "index.lock", "a") as fh:
+            fcntl.flock(fh, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh, fcntl.LOCK_UN)
+
+    def _read_index_file(self) -> dict:
+        try:
+            index = json.loads(self._index_path.read_text())
+        except (OSError, ValueError):
+            index = {"entries": {}}
+        index.setdefault("entries", {})
+        return index
+
     def _load_index(self) -> dict:
         if self._index is None:
-            try:
-                self._index = json.loads(self._index_path.read_text())
-            except (OSError, ValueError):
-                self._index = {"entries": {}}
-            self._index.setdefault("entries", {})
+            self._index = self._read_index_file()
         return self._index
 
     def _index_put(self, key: str, meta: dict) -> None:
-        index = self._load_index()
-        index["entries"][key] = {
+        record = {
             "workload": meta["workload"],
             "cluster_size": meta["cluster_size"],
             "wall_seconds": meta["wall_seconds"],
         }
         self.root.mkdir(parents=True, exist_ok=True)
-        tmp = self._index_path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(index, sort_keys=True, indent=1) + "\n")
-        os.replace(tmp, self._index_path)
+        with self._mutex, self._index_flock():
+            # Re-read and merge under the lock: another process (or
+            # thread through another RunCache) may have added entries
+            # since we cached the index, and a blind write-back of our
+            # stale copy would silently drop theirs.
+            index = self._read_index_file()
+            cached = self._index
+            if cached is not None:
+                for k, v in cached["entries"].items():
+                    index["entries"].setdefault(k, v)
+            index["entries"][key] = record
+            self._index = index
+            tmp = self._index_path.with_suffix(self._tmp_suffix())
+            tmp.write_text(json.dumps(index, sort_keys=True, indent=1) + "\n")
+            os.replace(tmp, self._index_path)
 
     def estimate_seconds(self, workload: str, cluster_size: int) -> float | None:
         """Expected wall time for one point, from past executions.

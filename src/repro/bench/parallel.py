@@ -41,7 +41,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
 
-__all__ = ["resolve_jobs", "parallel_map", "run_figures"]
+__all__ = ["resolve_jobs", "parallel_map", "run_figures", "submission_order"]
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -65,10 +65,16 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return jobs
 
 
-def _submission_order(
+def submission_order(
     n: int, priorities: Sequence[float | None] | None
 ) -> list[int]:
-    """Indices in submission order: descending priority, stable on ties."""
+    """Indices in submission order: descending priority, stable on ties.
+
+    The longest-job-first scheduler shared by :func:`parallel_map` (work
+    submission to the process pool) and the ``repro.serve`` dispatcher
+    (which job to execute next, from cached wall-time estimates).  Items
+    with an unknown priority (None) come first — they might be long.
+    """
     if priorities is None:
         return list(range(n))
     if len(priorities) != n:
@@ -80,6 +86,10 @@ def _submission_order(
             i,
         ),
     )
+
+
+#: backwards-compatible alias (pre-public name)
+_submission_order = submission_order
 
 
 def parallel_map(
@@ -98,7 +108,7 @@ def parallel_map(
     item) submits work longest-job-first; it never changes the result.
     """
     items = list(arg_tuples)
-    order = _submission_order(len(items), priorities)
+    order = submission_order(len(items), priorities)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(items) <= 1 or (os.cpu_count() or 1) <= 1:
         return [fn(*args) for args in items]

@@ -54,12 +54,15 @@ def _point_config(
     cluster_size: int,
     inter_ssmp_delay: int,
     network: NetworkConfig | None,
+    overrides: dict[str, Any] | None = None,
 ) -> MachineConfig:
     """The exact MachineConfig a sweep point simulates (also the cache key)."""
-    overrides: dict[str, Any] = {"inter_ssmp_delay": inter_ssmp_delay}
+    kwargs: dict[str, Any] = {"inter_ssmp_delay": inter_ssmp_delay}
     if network is not None:
-        overrides["network"] = network
-    return default_config(cluster_size, total_processors, **overrides)
+        kwargs["network"] = network
+    if overrides:
+        kwargs.update(overrides)
+    return default_config(cluster_size, total_processors, **kwargs)
 
 
 def _fold_point(run) -> SweepPoint:
@@ -91,6 +94,7 @@ def _sweep_point(
     inter_ssmp_delay: int,
     network: NetworkConfig | None,
     require_valid: bool,
+    overrides: dict[str, Any] | None = None,
 ) -> tuple[str, SweepPoint]:
     """Simulate one cluster-size point and fold it into a SweepPoint.
 
@@ -99,7 +103,9 @@ def _sweep_point(
     function, which is what makes parallel output byte-identical.
     """
     app_module = importlib.import_module(module_name)
-    config = _point_config(total_processors, cluster_size, inter_ssmp_delay, network)
+    config = _point_config(
+        total_processors, cluster_size, inter_ssmp_delay, network, overrides
+    )
     run = app_module.run(config, params, costs)
     if require_valid:
         run.require_valid()
@@ -115,6 +121,7 @@ def _sweep_point_payload(
     inter_ssmp_delay: int,
     network: NetworkConfig | None,
     require_valid: bool,
+    overrides: dict[str, Any] | None = None,
 ) -> tuple[str, SweepPoint, dict, float]:
     """The cached-path worker: ``_sweep_point`` plus the cache payload.
 
@@ -123,7 +130,9 @@ def _sweep_point_payload(
     store.
     """
     app_module = importlib.import_module(module_name)
-    config = _point_config(total_processors, cluster_size, inter_ssmp_delay, network)
+    config = _point_config(
+        total_processors, cluster_size, inter_ssmp_delay, network, overrides
+    )
     t0 = time.perf_counter()
     run = app_module.run(config, params, costs)
     wall = time.perf_counter() - t0
@@ -148,8 +157,9 @@ def _cached_results(
     """
     keyed = []
     for args in point_args:
-        module_name, params, total_processors, c, costs, delay, network, _ = args
-        config = _point_config(total_processors, c, delay, network)
+        (module_name, params, total_processors, c, costs, delay, network,
+         _, overrides) = args
+        config = _point_config(total_processors, c, delay, network, overrides)
         keyed.append(cache.key_for(config, costs, module_name, params))
 
     entries = [cache.get(key) for key, _ in keyed]
@@ -207,6 +217,7 @@ def run_sweep(
     jobs: int | None = None,
     cache: RunCache | bool | None = None,
     cache_verify: bool = False,
+    overrides: dict[str, Any] | None = None,
 ) -> ClusterSweep:
     """Run ``app_module.run`` at every cluster size and collect the curve.
 
@@ -225,6 +236,11 @@ def run_sweep(
     longest-job-first from cached wall-time estimates.  ``cache_verify``
     re-executes a deterministic sample of hits and fails loudly if any
     cached result is not reproduced bit-for-bit.
+
+    ``overrides`` are extra :class:`MachineConfig` keyword arguments
+    applied to every point (page size, protocol options, ...); the
+    ``repro.serve`` request validation surface feeds them through here.
+    They participate in the cache key like every other config field.
     """
     if sizes is None:
         sizes = cluster_sizes(total_processors)
@@ -239,6 +255,7 @@ def run_sweep(
             inter_ssmp_delay,
             network,
             require_valid,
+            overrides,
         )
         for c in sizes
     ]

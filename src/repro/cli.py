@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli fig11
     python -m repro.cli all                  # everything (slow)
     python -m repro.cli sweep water --processors 16
+    python -m repro.cli serve --port 8642    # the HTTP daemon (repro.serve)
 
 Reports print to stdout in the same format the benchmark suite saves
 under ``results/``.
@@ -208,6 +209,13 @@ def _fig11(jobs: int = 1) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # The daemon has its own flag set; hand over before parsing.
+        from repro.serve import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="Reproduce MGS (ISCA 1996) experiments"
     )

@@ -1,4 +1,11 @@
-"""Serialization of sweep results for external analysis and plotting."""
+"""Serialization of sweep results for external analysis and plotting.
+
+Every JSON payload carries ``schema_version`` (:data:`SCHEMA_VERSION`)
+so external consumers — plotting scripts, the ``repro.serve`` HTTP API —
+can detect incompatible layout changes instead of mis-parsing them.
+Bump it whenever a key is renamed, removed, or changes meaning; adding
+new keys is backward compatible and needs no bump.
+"""
 
 from __future__ import annotations
 
@@ -10,11 +17,15 @@ from repro.metrics.framework import ClusterSweep
 from repro.runtime import RunResult
 
 __all__ = [
+    "SCHEMA_VERSION",
     "sweep_to_csv",
     "sweep_to_dict",
     "run_result_to_dict",
     "run_cache_to_dict",
 ]
+
+#: version of the exported JSON layout (see module docstring)
+SCHEMA_VERSION = 1
 
 
 def run_cache_to_dict(cache) -> dict:
@@ -29,6 +40,7 @@ def run_cache_to_dict(cache) -> dict:
 def run_result_to_dict(result: RunResult) -> dict:
     """A JSON-ready summary of one execution."""
     return {
+        "schema_version": SCHEMA_VERSION,
         "total_processors": result.config.total_processors,
         "cluster_size": result.config.cluster_size,
         "inter_ssmp_delay": result.config.inter_ssmp_delay,
@@ -53,14 +65,28 @@ def run_result_to_dict(result: RunResult) -> dict:
     }
 
 
+def _derived(sweep: ClusterSweep, name: str):
+    """A derived curve metric, or None when the sweep lacks the points.
+
+    The breakup/multigrain metrics need the C=1, C=P/2, and C=P points;
+    a partial sweep (``repro.serve`` accepts arbitrary ``sizes``) simply
+    exports them as null instead of failing the whole payload.
+    """
+    try:
+        return getattr(sweep, name)
+    except (KeyError, ValueError):
+        return None
+
+
 def sweep_to_dict(sweep: ClusterSweep) -> dict:
     """A JSON-ready record of a full cluster-size sweep."""
     return {
+        "schema_version": SCHEMA_VERSION,
         "app": sweep.app,
         "total_processors": sweep.total_processors,
-        "breakup_penalty": sweep.breakup_penalty,
-        "multigrain_potential": sweep.multigrain_potential,
-        "multigrain_curvature": sweep.curvature,
+        "breakup_penalty": _derived(sweep, "breakup_penalty"),
+        "multigrain_potential": _derived(sweep, "multigrain_potential"),
+        "multigrain_curvature": _derived(sweep, "curvature"),
         "points": [
             {
                 "cluster_size": p.cluster_size,

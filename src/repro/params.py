@@ -19,9 +19,20 @@ Two dataclasses are exported:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
-__all__ = ["MachineConfig", "CostModel", "NetworkConfig", "ProtocolOptions"]
+__all__ = [
+    "MachineConfig",
+    "CostModel",
+    "NetworkConfig",
+    "ProtocolOptions",
+    "UnknownFieldError",
+    "dataclass_from_dict",
+    "network_config_from_dict",
+    "protocol_options_from_dict",
+    "machine_config_from_dict",
+    "cost_model_from_dict",
+]
 
 WORD_BYTES = 8
 
@@ -317,3 +328,77 @@ class CostModel:
 
     def apply_words(self, words: int) -> int:
         return words * self.apply_per_word
+
+
+# ---------------------------------------------------------------------------
+# strict dict -> dataclass construction (the request validation surface)
+# ---------------------------------------------------------------------------
+#
+# Everything that accepts configuration from the outside world — the run
+# cache's entry round-trip and, above all, the ``repro.serve`` HTTP API —
+# funnels through these constructors.  They are deliberately strict:
+# unknown keys raise :class:`UnknownFieldError` instead of being silently
+# dropped, so a typo in a request ("pagesize") is a 400, not a simulation
+# of the wrong machine.  Value validation itself is the dataclasses' own
+# ``__post_init__`` checks.
+
+
+class UnknownFieldError(ValueError):
+    """A dict carried keys the target dataclass does not define."""
+
+    def __init__(self, cls: type, unknown: list[str]) -> None:
+        self.cls = cls
+        self.unknown = sorted(unknown)
+        known = ", ".join(sorted(f.name for f in fields(cls)))
+        super().__init__(
+            f"unknown {cls.__name__} field(s) {self.unknown}; "
+            f"known fields: {known}"
+        )
+
+
+def dataclass_from_dict(cls, d: dict, **nested):
+    """Build dataclass ``cls`` from ``d``, rejecting unknown keys.
+
+    ``nested`` maps a field name to a converter applied to that field's
+    value when present (used for nested configuration dataclasses).
+    Raises :class:`UnknownFieldError` on unknown keys and ``TypeError``
+    when ``d`` is not a dict; the dataclass's own ``__post_init__``
+    performs value validation.
+    """
+    if not isinstance(d, dict):
+        raise TypeError(f"{cls.__name__} wants a dict, got {type(d).__name__}")
+    names = {f.name for f in fields(cls)}
+    unknown = [k for k in d if k not in names]
+    if unknown:
+        raise UnknownFieldError(cls, unknown)
+    kwargs = dict(d)
+    for name, convert in nested.items():
+        # Already-constructed dataclass instances pass through untouched.
+        if isinstance(kwargs.get(name), dict):
+            kwargs[name] = convert(kwargs[name])
+    return cls(**kwargs)
+
+
+def _converter(cls, **nested):
+    def convert(d: dict):
+        return dataclass_from_dict(cls, d, **nested)
+
+    return convert
+
+
+network_config_from_dict = _converter(NetworkConfig)
+"""Strict ``dict -> NetworkConfig`` (unknown keys raise)."""
+
+protocol_options_from_dict = _converter(ProtocolOptions)
+"""Strict ``dict -> ProtocolOptions`` (unknown keys raise)."""
+
+cost_model_from_dict = _converter(CostModel)
+"""Strict ``dict -> CostModel`` (unknown keys raise)."""
+
+machine_config_from_dict = _converter(
+    MachineConfig,
+    network=network_config_from_dict,
+    options=protocol_options_from_dict,
+)
+"""Strict ``dict -> MachineConfig``; nested ``network``/``options`` dicts
+are converted (and validated) recursively."""

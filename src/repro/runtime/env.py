@@ -50,6 +50,25 @@ bit-for-bit by ``tests/test_golden_equivalence.py``; set
 ``REPRO_NO_FASTPATH=1`` (or ``Runtime(..., fastpath=False)``) to force
 the original one-access-at-a-time code paths.  See
 ``docs/PERFORMANCE.md``.
+
+Adaptive bypass
+---------------
+
+The burst caches only pay for themselves when bursts are long enough to
+serve repeat accesses.  Miss-heavy loops with little per-burst reuse —
+Jacobi's compute-bound stencil is the canonical case: ~1300 cycles of
+per-point compute against a 1500-cycle quantum means nearly every
+access burst is a handful of words — spend more maintaining the caches
+than they save (the 0.89x regression BENCH_perfsmoke.json used to
+record).  Each ``Env`` therefore *samples* its own burst-cache hit rate
+over the first :data:`_FP_SAMPLE_BURSTS` bursts and, when the observed
+hits per burst fall below :data:`_FP_BYPASS_HITS_PER_BURST`, rebinds
+its memory operations to the plain slow paths for the rest of the run.
+Both engines are cycle-identical, and the decision depends only on
+deterministic simulation state, so results are bit-for-bit unchanged
+either way; only the wall-clock moves.  The bypass is disabled while
+the race detector has the access methods instrumented (rebinding would
+drop its recording wrappers).
 """
 
 from __future__ import annotations
@@ -65,6 +84,11 @@ if TYPE_CHECKING:
     from repro.sync import MGSLock
 
 __all__ = ["Env"]
+
+#: bursts sampled before deciding whether the fast-path caches pay off
+_FP_SAMPLE_BURSTS = 32
+#: below this average of burst-cache hits per burst, bypass to slow paths
+_FP_BYPASS_HITS_PER_BURST = 2
 
 
 class Env:
@@ -100,6 +124,9 @@ class Env:
         "_fp_pages",
         "_fp_rlines",
         "_fp_wlines",
+        "_fp_hits",
+        "_fp_bursts",
+        "_fp_adaptive",
         # per-instance bindings (fast or slow implementation)
         "read",
         "write",
@@ -133,6 +160,10 @@ class Env:
         # Hardware cache lines known to hit for reads / for writes.
         self._fp_rlines: set[int] = set()
         self._fp_wlines: set[int] = set()
+        # Adaptive-bypass sampling state (see module docstring).
+        self._fp_hits = 0
+        self._fp_bursts = 0
+        self._fp_adaptive = runtime.fastpath
         if runtime.fastpath:
             self.read = self._read_fast
             self.write = self._write_fast
@@ -150,6 +181,8 @@ class Env:
             # Opt-in happens-before race detection (repro.analysis):
             # rebinds the five operations to recording wrappers that
             # delegate to the originals unchanged and charge nothing.
+            # The adaptive bypass must not rebind over those wrappers.
+            self._fp_adaptive = False
             detector.instrument(self)
 
     # ------------------------------------------------------------------
@@ -163,10 +196,47 @@ class Env:
         suspended, protocol handlers may have invalidated its TLB entry,
         replaced the frame data, or changed hardware directory state.
         Cleared in place so batched loops can hold direct references.
+
+        Doubles as the adaptive-bypass sampling point: every reset ends
+        one burst, and after :data:`_FP_SAMPLE_BURSTS` bursts the Env
+        decides once whether its burst caches earn their keep.
         """
         self._fp_pages.clear()
         self._fp_rlines.clear()
         self._fp_wlines.clear()
+        if self._fp_adaptive:
+            self._fp_bursts += 1
+            if self._fp_bursts >= _FP_SAMPLE_BURSTS:
+                self._fp_adaptive = False
+                if self._fp_hits < _FP_BYPASS_HITS_PER_BURST * self._fp_bursts:
+                    self._fp_bypass()
+
+    def _fp_bypass(self) -> None:
+        """Fall back to the plain one-access-at-a-time paths.
+
+        Cycle-identical by construction (the slow paths are the golden
+        reference the fast paths are pinned against); only the Python
+        wall-clock changes.  A generator currently suspended inside a
+        fast-path method finishes that call on the fast code; every
+        subsequent ``env.read``/``env.write``/... dispatches slow.
+        """
+        self.read = self._read_slow
+        self.write = self._write_slow
+        self.read_block = self._read_block_slow
+        self.write_block = self._write_block_slow
+        self.read_many = self._read_many_slow
+
+    @property
+    def fastpath_bypassed(self) -> bool:
+        """Whether the adaptive sampler demoted this Env to slow paths.
+
+        (``read`` may also be a race-detector wrapper function, which has
+        no ``__func__`` — those runs never demote, so report False.)
+        """
+        return (
+            self._rt.fastpath
+            and getattr(self.read, "__func__", None) is Env._read_slow
+        )
 
     def _fp_load(self, vpn: int):
         """Resolve ``vpn`` with read privilege; may yield mapping faults.
@@ -217,6 +287,7 @@ class Env:
         line = addr // self._line_size
         if line in self._fp_wlines or line in self._fp_rlines:
             self._cache_counts[0] += 1
+            self._fp_hits += 1
             cost = self._hit_cost
         else:
             cost = self._cache.access(
@@ -242,6 +313,7 @@ class Env:
         line = addr // self._line_size
         if line in self._fp_wlines:
             self._cache_counts[0] += 1
+            self._fp_hits += 1
             cost = self._hit_cost
         else:
             cost = self._cache.access(
@@ -293,6 +365,7 @@ class Env:
             line = addr // line_size
             if line in wlines or line in rlines:
                 counts[0] += 1
+                self._fp_hits += 1
                 ttime += hit_cost
                 tuser += hit_cost
             else:
@@ -359,6 +432,7 @@ class Env:
                 line = addr // line_size
                 if line in wlines or line in rlines:
                     counts[0] += 1
+                    self._fp_hits += 1
                     ttime += hit_cost
                     tuser += hit_cost
                 else:
@@ -421,6 +495,7 @@ class Env:
                 ttime += cost
                 tuser += cost
                 counts[0] += m
+                self._fp_hits += m
                 w0 = (addr % page_size) // WORD_BYTES
                 addr += m * WORD_BYTES
                 if paused:
@@ -480,6 +555,7 @@ class Env:
                 line = addr // line_size
                 if line in wlines:
                     counts[0] += 1
+                    self._fp_hits += 1
                     ttime += hit_cost
                     tuser += hit_cost
                 else:
@@ -538,6 +614,7 @@ class Env:
                 ttime += cost
                 tuser += cost
                 counts[0] += m
+                self._fp_hits += m
                 w0 = (addr % page_size) // WORD_BYTES
                 # Stores land before a pause, as the per-word path does.
                 data[w0 : w0 + m] = values[vi : vi + m]

@@ -122,6 +122,7 @@ class Runtime:
         self.barrier_obj = TreeBarrier(self.machine, config, self.costs)
         self.locks: list[MGSLock] = []
         self.threads: list[ThreadContext] = []
+        self.envs: list[Env] = []
         self._spawned = False
         # Opt-in checkers (see repro.analysis): pure observers, attached
         # before threads spawn so Env instrumentation sees them.  Both
@@ -167,6 +168,7 @@ class Runtime:
         env = Env(self, thread)
         thread.gen = genfunc(env)
         self.threads.append(thread)
+        self.envs.append(env)
         return thread
 
     def spawn_all(self, genfunc: Callable[[Env], object]) -> None:

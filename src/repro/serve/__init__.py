@@ -1,0 +1,29 @@
+"""Simulation-as-a-service: the repo's sweep engine behind HTTP+JSON.
+
+``python -m repro.serve`` (or ``python -m repro.cli serve``) boots a
+stdlib-only daemon that accepts sweep submissions, executes them through
+the same :func:`repro.bench.sweep.run_sweep` path the CLI uses, and
+serves results in the :mod:`repro.metrics.export` wire format.  All
+jobs share one content-addressed run cache, identical in-flight
+submissions coalesce onto a single computation, and per-client token
+buckets keep any one caller from monopolizing the queue — the pieces
+needed to put the simulator in front of many users (see ROADMAP.md).
+
+Modules: :mod:`~repro.serve.validate` (strict request schema),
+:mod:`~repro.serve.jobs` (single-flight queue + executor),
+:mod:`~repro.serve.ratelimit` (token buckets),
+:mod:`~repro.serve.daemon` (HTTP server + dispatcher),
+:mod:`~repro.serve.client` (urllib client).  API reference and curl
+examples: ``docs/SERVICE.md``.
+"""
+
+from repro.serve.daemon import ServeDaemon, main
+from repro.serve.validate import JobRequest, RequestError, validate_request
+
+__all__ = [
+    "ServeDaemon",
+    "JobRequest",
+    "RequestError",
+    "validate_request",
+    "main",
+]

@@ -1,0 +1,113 @@
+"""Minimal urllib client for the ``repro.serve`` HTTP API.
+
+.. code-block:: python
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8642", client_id="alice")
+    job = client.submit("jacobi", params={"n": 32, "iterations": 5})
+    result = client.wait(job["id"])
+    print(result["sweep"]["points"][0]["total_time"])
+
+Every method returns the decoded JSON payload; non-2xx responses raise
+:class:`ServeError` carrying the HTTP status and the server's decoded
+error payload.  Stdlib only, like the daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+__all__ = ["ServeError", "ServeClient"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        self.status = status
+        self.payload = payload
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', payload)}"
+        )
+
+
+class ServeClient:
+    """One client identity against one daemon."""
+
+    def __init__(
+        self,
+        base_url: str,
+        client_id: str = "anonymous",
+        timeout: float = 60.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def request(self, method: str, path: str,
+                body: dict | None = None) -> dict:
+        data = None
+        headers = {"X-Client-Id": self.client_id}
+        if body is not None:
+            data = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except ValueError:
+                payload = {"error": exc.reason}
+            raise ServeError(exc.code, payload) from None
+
+    # -- API -----------------------------------------------------------
+
+    def submit(self, workload: str, params: dict | None = None,
+               **options: Any) -> dict:
+        """``POST /v1/jobs``; returns the job record (see ``id``)."""
+        body: dict[str, Any] = {"workload": workload, **options}
+        if params is not None:
+            body["params"] = params
+        return self.request("POST", "/v1/jobs", body)
+
+    def status(self, job_id: str) -> dict:
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self.request("GET", f"/v1/jobs/{job_id}/result")
+
+    def stats(self) -> dict:
+        return self.request("GET", "/v1/stats")
+
+    def shutdown(self) -> dict:
+        return self.request("POST", "/v1/shutdown", {})
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.1) -> dict:
+        """Poll until the job finishes; returns the result payload.
+
+        Raises :class:`ServeError` (status 500) if the job failed, or
+        :class:`TimeoutError` after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed"):
+                return self.result(job_id)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll)

@@ -1,0 +1,86 @@
+"""Per-client token-bucket rate limiting for the serve daemon.
+
+Each client — identified by the ``X-Client-Id`` request header, falling
+back to the peer address — owns one token bucket: ``burst`` tokens of
+capacity, refilled at ``rate`` tokens per second.  Submitting a job
+spends one token; an empty bucket means HTTP 429 with a ``Retry-After``
+hint of when the next token lands.  Read-only endpoints are never
+throttled, but every request (throttled or not) is counted per client so
+``GET /v1/stats`` can report who is using the service.
+
+The table is safe for concurrent use from the daemon's handler threads;
+everything is in-memory and scoped to one daemon process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["TokenBucket", "ClientTable"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``burst`` capacity, ``rate`` tokens/second."""
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.updated = now
+
+    def take(self, now: float) -> float:
+        """Spend one token.  Returns 0.0 on success, else the seconds
+        until a token will be available (the ``Retry-After`` hint)."""
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class ClientTable:
+    """Per-client buckets plus request/throttle counters (thread-safe)."""
+
+    def __init__(self, rate: float = 2.0, burst: float = 5.0) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._requests: dict[str, int] = {}
+        self._throttled: dict[str, int] = {}
+
+    def note(self, client: str) -> None:
+        """Count one request from ``client`` (any endpoint)."""
+        with self._lock:
+            self._requests[client] = self._requests.get(client, 0) + 1
+
+    def admit(self, client: str) -> float:
+        """Charge one submission token.  0.0 = admitted, else the
+        ``Retry-After`` delay in seconds (the request was throttled)."""
+        now = time.monotonic()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(
+                    self.rate, self.burst, now
+                )
+            retry_after = bucket.take(now)
+            if retry_after > 0.0:
+                self._throttled[client] = self._throttled.get(client, 0) + 1
+            return retry_after
+
+    def snapshot(self) -> dict:
+        """JSON-ready per-client counters for ``GET /v1/stats``."""
+        with self._lock:
+            return {
+                client: {
+                    "requests": self._requests.get(client, 0),
+                    "throttled": self._throttled.get(client, 0),
+                }
+                for client in sorted(self._requests)
+            }

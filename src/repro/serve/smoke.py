@@ -1,0 +1,132 @@
+"""End-to-end smoke test for the ``repro.serve`` daemon (the CI job).
+
+Boots a daemon on an ephemeral port over a fresh cache directory, then:
+
+1. **cold** — submits a sweep over HTTP; every point must be simulated
+   (``misses == points``, ``hits == 0``);
+2. **warm** — resubmits the identical body; the job must be served
+   entirely from the shared run cache (``hits == points``,
+   ``misses == 0``, **zero simulation**) and its sweep payload must be
+   byte-identical to the cold one.
+
+Exits non-zero (with a reason on stderr) if any invariant fails, so CI
+can gate on it directly:
+
+.. code-block:: bash
+
+    PYTHONPATH=src python -m repro.serve.smoke --out serve_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeDaemon
+
+__all__ = ["main"]
+
+#: the sweep the smoke test submits twice (small but multi-point)
+REQUEST = {
+    "workload": "jacobi",
+    "params": {"n": 24, "iterations": 4},
+    "total_processors": 8,
+}
+
+
+def _sweep_points(result: dict) -> int:
+    return len(result["sweep"]["points"])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.smoke",
+        description="cold-then-warm HTTP smoke test against a live daemon",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker processes per job (default 2)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the JSON report here (default: stdout only)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        if not ok:
+            failures.append(what)
+            print(f"FAIL: {what}", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory(prefix="repro_serve_smoke_") as tmp:
+        daemon = ServeDaemon(port=0, cache_dir=tmp, jobs=args.jobs)
+        daemon.start_background()
+        try:
+            client = ServeClient(daemon.url, client_id="ci-smoke")
+
+            cold_job = client.submit(**REQUEST)
+            cold = client.wait(cold_job["id"], timeout=600, poll=0.2)
+            points = _sweep_points(cold)
+            check(points >= 2, f"cold sweep has {points} point(s), expected >=2")
+            check(
+                cold["cache"]["misses"] == points,
+                f"cold run simulated {cold['cache']['misses']}/{points} points",
+            )
+            check(
+                cold["cache"]["hits"] == 0,
+                f"cold run claims {cold['cache']['hits']} cache hits",
+            )
+
+            warm_job = client.submit(**REQUEST)
+            check(
+                warm_job["id"] != cold_job["id"],
+                "warm resubmission coalesced onto the finished cold job",
+            )
+            warm = client.wait(warm_job["id"], timeout=600, poll=0.2)
+            check(
+                warm["cache"]["hits"] == points,
+                f"warm run hit only {warm['cache']['hits']}/{points} points",
+            )
+            check(
+                warm["cache"]["misses"] == 0,
+                f"warm run simulated {warm['cache']['misses']} point(s); "
+                "must be served entirely from the cache",
+            )
+            check(
+                warm["sweep"] == cold["sweep"],
+                "warm sweep payload differs from the cold one",
+            )
+
+            stats = client.stats()
+            report = {
+                "ok": not failures,
+                "failures": failures,
+                "request": REQUEST,
+                "points": points,
+                "cold_cache": cold["cache"],
+                "warm_cache": warm["cache"],
+                "stats": stats,
+            }
+        finally:
+            daemon.close()
+
+    text = json.dumps(report, indent=1, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    if failures:
+        print(f"serve smoke: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print(f"serve smoke: OK (cold simulated {points} points, "
+          "warm served all of them from the cache)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -289,3 +289,91 @@ def test_cli_cache_flags(tmp_path, capsys):
                  cache_dir, "--cache-verify"]) == 0
     out = capsys.readouterr().out
     assert "3 hits" in out and "verified" in out
+
+
+# ---------------------------------------------------------------------------
+# concurrent use of one store (the repro.serve daemon's deployment shape)
+# ---------------------------------------------------------------------------
+
+
+def _hammer_store(root, worker, n_keys):
+    """Store n_keys entries (some shared across workers) into one root."""
+    cache = RunCache(root, source="fixed")
+    for i in range(n_keys):
+        # Even keys collide across workers (same preimage -> same key,
+        # same bytes); odd keys are worker-private.
+        tag = i if i % 2 == 0 else (worker, i)
+        key, preimage = fingerprint_run(
+            MachineConfig(total_processors=4, cluster_size=2),
+            CostModel(),
+            1500,
+            f"wl-{tag}",
+            None,
+            source="fixed",
+        )
+        cache.put(key, preimage, {"payload": [worker, i]}, 0.01 * (i + 1))
+    return cache.stats.stores
+
+
+def test_two_processes_share_one_cache_dir(tmp_path):
+    # The serve daemon plus a CLI run (or two daemons) writing the same
+    # REPRO_CACHE_DIR concurrently: no torn entries, and the wall-time
+    # index keeps every writer's records (read-merge-write under flock).
+    import multiprocessing as mp
+
+    root = tmp_path / "shared"
+    n_keys = 24
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods()
+                         else None)
+    with ctx.Pool(2) as pool:
+        stores = pool.starmap(
+            _hammer_store, [(root, 0, n_keys), (root, 1, n_keys)]
+        )
+    assert stores == [n_keys, n_keys]
+
+    # every entry file is intact, schema-valid JSON
+    files = _entry_files(root)
+    seen = set()
+    for path in files:
+        entry = json.loads(path.read_text())
+        assert entry["key"] == path.stem
+        seen.add(entry["fingerprint"]["workload"])
+    # 12 shared workloads + 12 private ones per worker
+    assert len(files) == n_keys // 2 + 2 * (n_keys // 2)
+
+    # the index retained one record per distinct key from BOTH workers
+    index = json.loads((root / "index.json").read_text())
+    assert len(index["entries"]) == len(files)
+    # and no temporary files leaked
+    assert not list(root.rglob("*.tmp.*"))
+
+    # a fresh instance schedules from the merged index
+    reader = RunCache(root, source="fixed")
+    assert reader.estimate_seconds("wl-0", 2) == pytest.approx(0.01)
+
+
+def test_threads_sharing_one_runcache_do_not_tear(tmp_path):
+    import threading
+
+    root = tmp_path / "threaded"
+    cache = RunCache(root, source="fixed")
+    key, preimage = fingerprint_run(
+        MachineConfig(total_processors=4, cluster_size=2),
+        CostModel(), 1500, "wl-contended", None, source="fixed",
+    )
+    barrier = threading.Barrier(4)
+
+    def writer():
+        barrier.wait()
+        for _ in range(10):
+            cache.put(key, preimage, {"payload": "identical"}, 0.5)
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    entry = json.loads((root / key[:2] / f"{key}.json").read_text())
+    assert entry["run"] == {"payload": "identical"}
+    assert cache.stats.stores == 40
+    assert not list(root.rglob("*.tmp.*"))

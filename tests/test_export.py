@@ -7,6 +7,7 @@ import json
 from repro.apps import matmul
 from repro.bench import run_sweep
 from repro.metrics.export import (
+    SCHEMA_VERSION,
     run_result_to_dict,
     sweep_to_csv,
     sweep_to_dict,
@@ -31,6 +32,23 @@ def test_sweep_to_dict_round_trips_through_json():
     assert data["points"][0]["cluster_size"] == 1
     assert all(p["total_time"] > 0 for p in data["points"])
     assert "breakup_penalty" in data
+    assert data["schema_version"] == SCHEMA_VERSION
+
+
+def test_partial_sweep_exports_null_derived_metrics():
+    # A partial sweep (repro.serve accepts arbitrary sizes) lacks the
+    # C=1/C=P/2/C=P points the curve metrics need; they export as null
+    # rather than failing the payload.
+    sweep = run_sweep(
+        matmul,
+        params=matmul.MatmulParams(n=8, compute_per_mac=10),
+        total_processors=4,
+        sizes=[2],
+    )
+    data = sweep_to_dict(sweep)
+    assert data["breakup_penalty"] is None
+    assert data["multigrain_potential"] is None
+    assert len(data["points"]) == 1
 
 
 def test_sweep_to_csv_is_parseable():
@@ -49,6 +67,7 @@ def test_run_result_to_dict():
     config = MachineConfig(total_processors=4, cluster_size=2)
     run = matmul.run(config, matmul.MatmulParams(n=8, compute_per_mac=10))
     data = run_result_to_dict(run.result)
+    assert data["schema_version"] == SCHEMA_VERSION
     assert data["cluster_size"] == 2
     assert data["total_time"] == run.total_time
     assert set(data["breakdown"]) == {"user", "lock", "barrier", "mgs"}

@@ -283,3 +283,105 @@ def test_env_binds_slow_methods_when_disabled():
     assert env.read_block.__func__ is env._read_block_slow.__func__
     env2 = _fresh_env(Runtime(_config(), fastpath=True))
     assert env2.read.__func__ is env2._read_fast.__func__
+
+
+# ---------------------------------------------------------------------------
+# adaptive bypass: miss-heavy loops fall back to the plain paths
+# ---------------------------------------------------------------------------
+
+
+from repro.runtime.env import _FP_SAMPLE_BURSTS  # noqa: E402
+
+
+def _miss_heavy(arr, nwords, captured):
+    """Jacobi's shape: over-quantum compute between single fresh reads,
+    so every burst ends before the burst caches can serve a repeat."""
+
+    def worker(env):
+        for k in range(_FP_SAMPLE_BURSTS + 8):
+            yield from env.compute(1501)
+            v = yield from env.read(arr.addr((env.pid * 64 + k) % nwords))
+            captured.append(v)
+
+    return worker
+
+
+def _hit_heavy(arr, nwords, captured):
+    """Repeats within every burst: the caches pay for themselves."""
+
+    def worker(env):
+        base = arr.addr(env.pid * 64)
+        for _ in range(_FP_SAMPLE_BURSTS + 8):
+            for _ in range(4):
+                v = yield from env.read(base)
+            captured.append(v)
+            yield from env.compute(1501)
+
+    return worker
+
+
+def _run_and_collect_envs(factory, *, fastpath=True, analysis=None):
+    rt = Runtime(_config(), quantum=1500, fastpath=fastpath, analysis=analysis)
+    nwords = 64 * 4
+    arr = rt.array("data", nwords)
+    arr.init([float(i) for i in range(nwords)])
+    captured = []
+    rt.spawn_all(factory(arr, nwords, captured))
+    result = rt.run()
+    return rt, _state(rt, result)
+
+
+def test_miss_heavy_workers_bypass_to_slow_paths():
+    rt, _ = _run_and_collect_envs(_miss_heavy)
+    assert rt.envs and all(e.fastpath_bypassed for e in rt.envs)
+    # the demotion rebinds all five memory operations
+    env = rt.envs[0]
+    assert env.read.__func__ is env._read_slow.__func__
+    assert env.write_block.__func__ is env._write_block_slow.__func__
+
+
+def test_hit_heavy_workers_keep_the_fast_paths():
+    rt, _ = _run_and_collect_envs(_hit_heavy)
+    for env in rt.envs:
+        assert env._fp_adaptive is False  # sampling did conclude...
+        assert not env.fastpath_bypassed  # ...and kept the fast engine
+
+
+def test_bypass_decision_is_cycle_invisible():
+    _, fast = _run_and_collect_envs(_miss_heavy, fastpath=True)
+    _, slow = _run_and_collect_envs(_miss_heavy, fastpath=False)
+    assert fast == slow
+
+
+def test_slow_mode_never_reports_bypass():
+    rt, _ = _run_and_collect_envs(_miss_heavy, fastpath=False)
+    assert not any(e.fastpath_bypassed for e in rt.envs)
+
+
+def test_race_detector_disables_the_adaptive_sampler():
+    # Rebinding over the detector's recording wrappers would silently
+    # drop race coverage, so instrumented runs never demote.
+    rt, _ = _run_and_collect_envs(_miss_heavy, analysis="races")
+    assert rt.race_detector is not None
+    for env in rt.envs:
+        assert env._fp_adaptive is False
+        assert not env.fastpath_bypassed
+
+
+def test_jacobi_bypasses_in_practice():
+    # The regression this mechanism exists for: jacobi's per-point
+    # compute (~1300 cycles) against the 1500-cycle quantum leaves no
+    # per-burst reuse, so its workers demote.
+    from repro.apps import jacobi
+    from repro.runtime import Runtime as RT
+
+    runtimes = []
+    hook = runtimes.append
+    RT.construction_hooks.append(hook)
+    try:
+        jacobi.run(_config(), jacobi.JacobiParams(n=16, iterations=3))
+    finally:
+        RT.construction_hooks.remove(hook)
+    envs = [e for rt in runtimes for e in rt.envs]
+    bypassed = sum(1 for e in envs if e.fastpath_bypassed)
+    assert bypassed >= len(envs) // 2
