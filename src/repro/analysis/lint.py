@@ -20,8 +20,12 @@ enforces the source-level rules that determinism silently rests on:
   Size/membership tests (``len``, ``in``, ``any`` over ``sorted``) are
   fine.
 * ``handler-coverage`` — every :class:`MsgType` member must have exactly
-  one ``@handles`` registration across the engines in ``core/`` (the
-  static mirror of ``MessageBus.check_complete``).
+  one ``@handles`` registration across the engines in ``core/`` and
+  ``protocols/`` (the static mirror of ``MessageBus.check_complete``),
+  and every engine package under ``protocols/`` must declare a literal
+  ``REQUIRED_LABELS`` tuple whose labels exactly match the package's
+  ``@handles`` registrations (the static mirror of
+  ``Protocol.bus_handlers`` / ``Protocol.check_bus``).
 
 Run it as::
 
@@ -40,7 +44,7 @@ from pathlib import Path
 from typing import Iterable
 
 __all__ = ["Finding", "lint_paths", "lint_source", "check_handler_coverage",
-           "main"]
+           "check_engine_handlers", "main"]
 
 
 @dataclass(frozen=True)
@@ -55,7 +59,8 @@ class Finding:
 
 
 #: modules whose iteration order feeds the simulation event stream
-ORDER_SENSITIVE_PARTS = ("core", "runtime", "sync", "svm", "hw", "net")
+ORDER_SENSITIVE_PARTS = ("core", "protocols", "runtime", "sync", "svm", "hw",
+                         "net")
 ORDER_SENSITIVE_FILES = ("machine.py", "sim.py", "trace.py")
 
 #: modules allowed to read the wall clock: ``bench`` measures it, and
@@ -283,6 +288,27 @@ def _msgtype_members(messages_path: Path) -> dict[str, int]:
     return {}
 
 
+def _msgtype_values(messages_path: Path) -> dict[str, str]:
+    """``MsgType`` member names -> label values (string enum constants)."""
+    if not messages_path.is_file():
+        return {}
+    tree = ast.parse(messages_path.read_text(), filename=str(messages_path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "MsgType":
+            values = {}
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                ):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            values[target.id] = stmt.value.value
+            return values
+    return {}
+
+
 def _handles_registrations(core_files: Iterable[Path]) -> dict[str, list[str]]:
     """``MsgType`` member name -> list of "file:line" registration sites."""
     sites: dict[str, list[str]] = {}
@@ -311,25 +337,195 @@ def _handles_registrations(core_files: Iterable[Path]) -> dict[str, list[str]]:
 
 
 def check_handler_coverage(core_dir: Path) -> list[Finding]:
-    """Statically verify every MsgType member has exactly one handler."""
+    """Statically verify every MsgType member has exactly one handler.
+
+    Registrations are collected from ``core/`` itself plus — when the
+    sibling ``protocols/`` tree exists — every engine package in it
+    (the MGS handlers live in ``protocols/mgs/``).
+    """
     messages_path = core_dir / "messages.py"
     if not messages_path.is_file():
         return []
     members = _msgtype_members(messages_path)
-    registrations = _handles_registrations(sorted(core_dir.glob("*.py")))
+    files = sorted(core_dir.glob("*.py"))
+    protocols_dir = core_dir.parent / "protocols"
+    if protocols_dir.is_dir():
+        files.extend(sorted(protocols_dir.rglob("*.py")))
+    registrations = _handles_registrations(files)
     findings = []
     for name, line in members.items():
         sites = registrations.get(name, [])
         if not sites:
             findings.append(Finding(
                 str(messages_path), line, "handler-coverage",
-                f"MsgType.{name} has no @handles registration in core/",
+                f"MsgType.{name} has no @handles registration in core/ "
+                "or protocols/",
             ))
         elif len(sites) > 1:
             findings.append(Finding(
                 str(messages_path), line, "handler-coverage",
                 f"MsgType.{name} has {len(sites)} @handles registrations: "
                 + ", ".join(sites),
+            ))
+    return findings
+
+
+def _required_labels(package_files: Iterable[Path]):
+    """The engine package's literal ``REQUIRED_LABELS`` declaration.
+
+    Returns ``(labels, path, line)`` or ``None`` when no module in the
+    package declares one.
+    """
+    for path in package_files:
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "REQUIRED_LABELS"
+                    and isinstance(node.value, (ast.Tuple, ast.List, ast.Set))
+                ):
+                    labels = [
+                        elt.value
+                        for elt in node.value.elts
+                        if isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str)
+                    ]
+                    return labels, path, node.lineno
+    return None
+
+
+def _class_label_table(files: Iterable[Path]) -> dict[str, str]:
+    """Message class name -> ``label`` class attribute (string constant)."""
+    table: dict[str, str] = {}
+    for path in files:
+        if not path.is_file():
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                value = None
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ) and stmt.target.id == "label":
+                    value = stmt.value
+                elif isinstance(stmt, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == "label"
+                    for t in stmt.targets
+                ):
+                    value = stmt.value
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    table[node.name] = value.value
+    return table
+
+
+def _handles_label_sites(
+    files: Iterable[Path],
+    name_to_value: dict[str, str],
+    class_labels: dict[str, str],
+) -> dict[str, list[str]]:
+    """Bus label -> list of "file:line" ``@handles`` registration sites.
+
+    All three registration spellings resolve to labels: ``MsgType.X``
+    attributes via the enum's value table, ``SomeMessage.label``
+    attributes via the class table, and bare string literals (the
+    spelling rival engines use for their own message vocabulary).
+    """
+    sites: dict[str, list[str]] = {}
+    for path in files:
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for deco in node.decorator_list:
+                if not (
+                    isinstance(deco, ast.Call)
+                    and isinstance(deco.func, ast.Name)
+                    and deco.func.id == "handles"
+                ):
+                    continue
+                for arg in deco.args:
+                    label = None
+                    if (
+                        isinstance(arg, ast.Attribute)
+                        and isinstance(arg.value, ast.Name)
+                        and arg.value.id == "MsgType"
+                    ):
+                        label = name_to_value.get(arg.attr, arg.attr)
+                    elif (
+                        isinstance(arg, ast.Attribute)
+                        and arg.attr == "label"
+                        and isinstance(arg.value, ast.Name)
+                        and arg.value.id in class_labels
+                    ):
+                        label = class_labels[arg.value.id]
+                    elif isinstance(arg, ast.Constant) and isinstance(
+                        arg.value, str
+                    ):
+                        label = arg.value
+                    if label is not None:
+                        sites.setdefault(label, []).append(
+                            f"{path}:{deco.lineno}"
+                        )
+    return sites
+
+
+def check_engine_handlers(
+    protocols_dir: Path, messages_path: Path
+) -> list[Finding]:
+    """Per-engine bus handler tables: declaration vs. registration.
+
+    Every engine package under ``protocols/`` that registers bus
+    handlers must declare a literal ``REQUIRED_LABELS`` tuple, and the
+    package's ``@handles`` registrations must cover those labels exactly
+    once each, with no undeclared extras — the static mirror of
+    ``Protocol.bus_handlers()`` / ``Protocol.check_bus()``.
+    """
+    name_to_value = _msgtype_values(messages_path)
+    findings = []
+    for package in sorted(p for p in protocols_dir.iterdir() if p.is_dir()):
+        files = sorted(package.rglob("*.py"))
+        if not files:
+            continue
+        class_labels = _class_label_table([messages_path, *files])
+        sites = _handles_label_sites(files, name_to_value, class_labels)
+        declared = _required_labels(files)
+        if declared is None:
+            if sites:
+                findings.append(Finding(
+                    str(package / "__init__.py"), 1, "handler-coverage",
+                    f"engine package {package.name!r} registers bus "
+                    "handlers but declares no literal REQUIRED_LABELS",
+                ))
+            continue
+        labels, decl_path, decl_line = declared
+        for label in labels:
+            n = len(sites.get(label, []))
+            if n == 0:
+                findings.append(Finding(
+                    str(decl_path), decl_line, "handler-coverage",
+                    f"engine {package.name!r} declares label {label!r} "
+                    "with no @handles registration",
+                ))
+            elif n > 1:
+                findings.append(Finding(
+                    str(decl_path), decl_line, "handler-coverage",
+                    f"engine {package.name!r} label {label!r} has {n} "
+                    "@handles registrations: " + ", ".join(sites[label]),
+                ))
+        for label in sorted(set(sites) - set(labels)):
+            findings.append(Finding(
+                sites[label][0].rsplit(":", 1)[0],
+                int(sites[label][0].rsplit(":", 1)[1]),
+                "handler-coverage",
+                f"engine {package.name!r} registers label {label!r} "
+                "missing from its REQUIRED_LABELS declaration",
             ))
     return findings
 
@@ -359,6 +555,11 @@ def lint_paths(paths: Iterable[Path]) -> list[Finding]:
             core_dirs.add(path.parent)
     for core_dir in sorted(core_dirs):
         findings.extend(check_handler_coverage(core_dir))
+        protocols_dir = core_dir.parent / "protocols"
+        if protocols_dir.is_dir():
+            findings.extend(
+                check_engine_handlers(protocols_dir, core_dir / "messages.py")
+            )
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 

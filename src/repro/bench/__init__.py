@@ -1,6 +1,12 @@
 """Benchmark harness: regenerates every table and figure of the paper."""
 
 from repro.bench.cache import CacheVerifyError, RunCache, resolve_cache
+from repro.bench.compare import (
+    ProtocolComparison,
+    comparison_to_csv,
+    render_comparison,
+    run_comparison,
+)
 from repro.bench.figures import FIGURES, bench_params, figure_report, run_figure
 from repro.bench.micro import MicroCosts, measure_micro_costs
 from repro.bench.parallel import parallel_map, resolve_jobs, run_figures
@@ -25,6 +31,10 @@ __all__ = [
     "run_figure",
     "run_figures",
     "run_sweep",
+    "ProtocolComparison",
+    "run_comparison",
+    "render_comparison",
+    "comparison_to_csv",
     "parallel_map",
     "resolve_jobs",
     "scale_factor",

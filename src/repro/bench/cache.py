@@ -431,6 +431,7 @@ class RunCache:
             "meta": {
                 "workload": preimage["workload"],
                 "cluster_size": preimage["config"]["cluster_size"],
+                "protocol": preimage["config"].get("protocol", "mgs"),
                 "wall_seconds": round(wall_seconds, 6),
                 "created": round(time.time(), 3),
             },
@@ -496,6 +497,7 @@ class RunCache:
         record = {
             "workload": meta["workload"],
             "cluster_size": meta["cluster_size"],
+            "protocol": meta.get("protocol", "mgs"),
             "wall_seconds": meta["wall_seconds"],
         }
         self.root.mkdir(parents=True, exist_ok=True)
@@ -515,21 +517,35 @@ class RunCache:
             tmp.write_text(json.dumps(index, sort_keys=True, indent=1) + "\n")
             os.replace(tmp, self._index_path)
 
-    def estimate_seconds(self, workload: str, cluster_size: int) -> float | None:
+    def estimate_seconds(
+        self, workload: str, cluster_size: int, protocol: str = "mgs"
+    ) -> float | None:
         """Expected wall time for one point, from past executions.
 
-        Exact ``(workload, cluster_size)`` matches win; otherwise the
-        mean over the workload; otherwise None (scheduler treats the
-        point as potentially long and runs it first).
+        Exact ``(workload, cluster_size, protocol)`` matches win; then
+        the same workload and cluster size under any engine (engines
+        differ far less than workloads do); then the mean over the
+        workload; otherwise None (scheduler treats the point as
+        potentially long and runs it first).  Index entries written
+        before engines existed count as ``mgs``.
         """
         entries = self._load_index()["entries"].values()
         exact = [
             e["wall_seconds"]
             for e in entries
-            if e["workload"] == workload and e["cluster_size"] == cluster_size
+            if e["workload"] == workload
+            and e["cluster_size"] == cluster_size
+            and e.get("protocol", "mgs") == protocol
         ]
         if exact:
             return sum(exact) / len(exact)
+        same_point = [
+            e["wall_seconds"]
+            for e in entries
+            if e["workload"] == workload and e["cluster_size"] == cluster_size
+        ]
+        if same_point:
+            return sum(same_point) / len(same_point)
         same = [e["wall_seconds"] for e in entries if e["workload"] == workload]
         if same:
             return sum(same) / len(same)

@@ -85,6 +85,7 @@ def run_figure(
     jobs: int | None = None,
     cache: "RunCache | bool | None" = None,
     cache_verify: bool = False,
+    protocol: str | None = None,
 ) -> ClusterSweep:
     """Run the full cluster-size sweep behind one figure.
 
@@ -92,7 +93,8 @@ def run_figure(
     :func:`repro.bench.sweep.run_sweep`); the sweep is byte-identical
     at any job count.  ``cache`` / ``cache_verify`` route through the
     content-addressed run cache (:mod:`repro.bench.cache`): warm reruns
-    serve every point from disk without simulating.
+    serve every point from disk without simulating.  ``protocol``
+    selects the coherence engine by registry name.
     """
     spec = FIGURES[key]
     params = bench_params(spec.app)
@@ -105,6 +107,7 @@ def run_figure(
         jobs=jobs,
         cache=cache,
         cache_verify=cache_verify,
+        protocol=protocol,
     )
 
 

@@ -122,12 +122,12 @@ def parallel_map(
         return [futures[i].result() for i in range(len(items))]
 
 
-def _figure_job(key: str, total_processors: int, network):
+def _figure_job(key: str, total_processors: int, network, protocol=None):
     from repro.bench.figures import run_figure
 
     # Each worker runs its whole figure serially; parallelism is across
     # figures here.
-    return run_figure(key, total_processors, network, jobs=1)
+    return run_figure(key, total_processors, network, jobs=1, protocol=protocol)
 
 
 def run_figures(
@@ -135,6 +135,7 @@ def run_figures(
     total_processors: int = 32,
     network=None,
     jobs: int | None = None,
+    protocol: str | None = None,
 ) -> list[tuple[str, Any]]:
     """Run several whole figures, one worker per figure.
 
@@ -142,6 +143,8 @@ def run_figures(
     the same sweeps ``run_figure`` produces one at a time.
     """
     sweeps = parallel_map(
-        _figure_job, [(key, total_processors, network) for key in keys], jobs
+        _figure_job,
+        [(key, total_processors, network, protocol) for key in keys],
+        jobs,
     )
     return list(zip(keys, sweeps))

@@ -19,6 +19,9 @@ Workloads:
   headline number for the hot-path engine).
 * ``jacobi`` — one Figure 6 point (remote-miss heavy, protocol-bound):
   the end-to-end shape the figure suite stresses.
+* ``swdsm_jacobi`` — the same point under the single-grain software-DSM
+  baseline engine (``protocol="swdsm"``), so the comparison harness's
+  rival engines are throughput-gated alongside MGS.
 * ``sweep`` — a small Jacobi cluster-size sweep, serial and with two
   worker processes; the harness asserts both are byte-identical before
   recording anything.
@@ -53,7 +56,7 @@ from repro.runtime import Runtime
 __all__ = ["run_perfsmoke", "check_against_baseline", "main"]
 
 #: bump when workloads change incompatibly (baselines stop comparing)
-SCHEMA = 1
+SCHEMA = 2
 
 #: CI fails when events/sec drops below baseline * (1 - TOLERANCE)
 TOLERANCE = 0.30
@@ -91,8 +94,12 @@ def _bench_hit_block(fastpath: bool, nwords: int, passes: int) -> dict:
     }
 
 
-def _bench_jacobi(fastpath: bool, n: int, iterations: int) -> dict:
-    config = MachineConfig(total_processors=32, cluster_size=8)
+def _bench_jacobi(
+    fastpath: bool, n: int, iterations: int, protocol: str = "mgs"
+) -> dict:
+    config = MachineConfig(
+        total_processors=32, cluster_size=8, protocol=protocol
+    )
     params = jacobi.JacobiParams(n=n, iterations=iterations)
     rt = jacobi.make_runtime(config, fastpath=fastpath)
     final = jacobi.build(rt, params)
@@ -193,6 +200,13 @@ def run_perfsmoke(quick: bool = False) -> dict:
     if jac_fast["total_time"] != jac_slow["total_time"]:
         raise AssertionError("fastpath diverged from slow path (jacobi)")
 
+    sw_fast = _bench_jacobi(True, jn, jit, protocol="swdsm")
+    sw_slow = _bench_jacobi(False, jn, jit, protocol="swdsm")
+    if sw_fast["total_time"] != sw_slow["total_time"]:
+        raise AssertionError(
+            "fastpath diverged from slow path (swdsm_jacobi)"
+        )
+
     sweep = _bench_sweep(32, 3)
     cached = _bench_cached_sweep(32, 3)
 
@@ -207,6 +221,8 @@ def run_perfsmoke(quick: bool = False) -> dict:
             "hit_block_slow": hit_slow,
             "jacobi_fast": jac_fast,
             "jacobi_slow": jac_slow,
+            "swdsm_jacobi_fast": sw_fast,
+            "swdsm_jacobi_slow": sw_slow,
             "sweep": sweep,
             "sweep_cached": cached,
         },
@@ -217,6 +233,9 @@ def run_perfsmoke(quick: bool = False) -> dict:
             "jacobi_fastpath": round(
                 jac_slow["seconds"] / jac_fast["seconds"], 2
             ),
+            "swdsm_jacobi_fastpath": round(
+                sw_slow["seconds"] / sw_fast["seconds"], 2
+            ),
             "warm_cache": cached["speedup_warm"],
         },
     }
@@ -226,6 +245,7 @@ def run_perfsmoke(quick: bool = False) -> dict:
 _GATED = [
     ("hit_block_fast", "words_per_sec"),
     ("jacobi_fast", "events_per_sec"),
+    ("swdsm_jacobi_fast", "events_per_sec"),
 ]
 
 
@@ -295,6 +315,12 @@ def main(argv: list[str] | None = None) -> int:
         f" ({b['jacobi_fast']['events_per_sec']:,} events/s)"
         f"   slow {b['jacobi_slow']['seconds']:.3f}s"
         f"   speedup {report['speedups']['jacobi_fastpath']}x"
+    )
+    print(
+        f"  swdsm_jacobi fast {b['swdsm_jacobi_fast']['seconds']:.3f}s"
+        f" ({b['swdsm_jacobi_fast']['events_per_sec']:,} events/s)"
+        f"   slow {b['swdsm_jacobi_slow']['seconds']:.3f}s"
+        f"   speedup {report['speedups']['swdsm_jacobi_fastpath']}x"
     )
     print(
         f"  sweep       serial {b['sweep']['serial_seconds']:.3f}s"

@@ -172,7 +172,12 @@ def _cached_results(
     work = [i for i, e in enumerate(entries) if e is None or i in verify_set]
 
     priorities = [
-        cache.estimate_seconds(point_args[i][0], point_args[i][3]) for i in work
+        cache.estimate_seconds(
+            point_args[i][0],
+            point_args[i][3],
+            (point_args[i][8] or {}).get("protocol", "mgs"),
+        )
+        for i in work
     ]
     executed = (
         parallel_map(
@@ -218,6 +223,7 @@ def run_sweep(
     cache: RunCache | bool | None = None,
     cache_verify: bool = False,
     overrides: dict[str, Any] | None = None,
+    protocol: str | None = None,
 ) -> ClusterSweep:
     """Run ``app_module.run`` at every cluster size and collect the curve.
 
@@ -241,7 +247,13 @@ def run_sweep(
     applied to every point (page size, protocol options, ...); the
     ``repro.serve`` request validation surface feeds them through here.
     They participate in the cache key like every other config field.
+
+    ``protocol`` selects the coherence engine by registry name (sugar
+    for ``overrides={"protocol": ...}``; see :mod:`repro.protocols`).
     """
+    if protocol is not None:
+        overrides = {**(overrides or {}), "protocol": protocol}
+    engine = (overrides or {}).get("protocol", "mgs")
     if sizes is None:
         sizes = cluster_sizes(total_processors)
     module_name = getattr(app_module, "__name__", str(app_module))
@@ -273,4 +285,5 @@ def run_sweep(
         app=app_name or module_name,
         total_processors=total_processors,
         points=points,
+        protocol=engine,
     )

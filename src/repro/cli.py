@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli fig11
     python -m repro.cli all                  # everything (slow)
     python -m repro.cli sweep water --processors 16
+    python -m repro.cli sweep water --protocol swdsm
+    python -m repro.cli compare --apps jacobi,water --protocols mgs,swdsm
     python -m repro.cli serve --port 8642    # the HTTP daemon (repro.serve)
 
 Reports print to stdout in the same format the benchmark suite saves
@@ -199,9 +201,12 @@ def _print_transaction_stats(sweep) -> None:
             )
 
 
-def _fig11(jobs: int = 1) -> str:
+def _fig11(jobs: int = 1, protocol: str | None = None) -> str:
     sweeps = [
-        sweep for _, sweep in run_figures(["fig8", "fig9", "fig10"], jobs=jobs)
+        sweep
+        for _, sweep in run_figures(
+            ["fig8", "fig9", "fig10"], jobs=jobs, protocol=protocol
+        )
     ]
     return render_lock_figure(
         sweeps, "Figure 11: Hit rate for MGS lock vs cluster size"
@@ -216,6 +221,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "compare":
+        # So does the cross-engine comparison harness.
+        from repro.bench.compare import main as compare_main
+
+        return compare_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="Reproduce MGS (ISCA 1996) experiments"
     )
@@ -227,6 +237,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--processors", type=int, default=32, help="total processors (default 32)"
+    )
+    from repro.core.engine import engine_names
+
+    parser.add_argument(
+        "--protocol",
+        choices=engine_names(),
+        default="mgs",
+        help="coherence engine driving software shared memory "
+        "(default: mgs; see repro.protocols)",
     )
     parser.add_argument(
         "--jobs",
@@ -344,6 +363,7 @@ def _dispatch(parser, args, network, jobs: int = 1, cache=None) -> int:
             jobs=jobs,
             cache=cache if cache is not None else False,
             cache_verify=args.cache_verify,
+            protocol=args.protocol,
         )
         from repro.bench import render_breakdown_figure, render_metrics
 
@@ -371,6 +391,7 @@ def _dispatch(parser, args, network, jobs: int = 1, cache=None) -> int:
                 total_processors=args.processors,
                 network=network,
                 jobs=jobs,
+                protocol=args.protocol,
             )
         )
 
@@ -381,7 +402,7 @@ def _dispatch(parser, args, network, jobs: int = 1, cache=None) -> int:
         elif exp == "table4":
             print("Table 4\n\n" + render_table4(run_table4()))
         elif exp == "fig11":
-            print(_fig11(jobs))
+            print(_fig11(jobs, args.protocol))
         elif exp in FIGURES:
             sweep = sweeps.get(exp)
             if sweep is None:
@@ -392,6 +413,7 @@ def _dispatch(parser, args, network, jobs: int = 1, cache=None) -> int:
                     jobs=jobs,
                     cache=cache if cache is not None else False,
                     cache_verify=args.cache_verify,
+                    protocol=args.protocol,
                 )
             print(figure_report(exp, sweep))
             _print_network_stats(sweep)

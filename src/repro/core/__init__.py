@@ -1,36 +1,62 @@
-"""The MGS multigrain shared-memory protocol (the paper's contribution).
+"""Protocol-engine substrate: the message bus, page state, and the
+pluggable :class:`~repro.core.engine.Protocol` interface.
 
-Three cooperating engines implement the protocol, exactly as in Figure 4
-of the paper:
+The concrete coherence engines live in :mod:`repro.protocols`; the MGS
+multigrain protocol (the paper's contribution) is
+:class:`repro.protocols.mgs.MGSProtocol` and remains importable from
+here for backward compatibility.  What stays in ``core`` is everything
+engines share:
 
-* :class:`~repro.core.local_client.LocalClient` — runs on the faulting
-  processor; maintains mapping (TLB) state and requests page data.
-* :class:`~repro.core.remote_client.RemoteClient` — runs on the processor
-  owning an SSMP's copy of a page; performs page invalidation, diffing,
-  and upgrades.
-* :class:`~repro.core.server.Server` — runs on the page's home processor;
-  grants replication requests and orchestrates release operations.
-
-:class:`~repro.core.protocol.MGSProtocol` wires the three engines to the
-machine, hardware-coherence, and SVM substrates.
+* :mod:`repro.core.bus` — the typed protocol message bus with
+  ``@handles`` registration, taps, and transaction tracking.
+* :mod:`repro.core.messages` — the Table-2 message vocabulary.
+* :mod:`repro.core.page` — page frames, home pages, twin/diff helpers.
+* :mod:`repro.core.engine` — the :class:`Protocol` interface and the
+  string-keyed engine registry.
 """
 
 from repro.core.bus import MessageBus, MessageFlow, Transaction, handles
+from repro.core.engine import (
+    ArcRules,
+    Protocol,
+    ProtocolStats,
+    UnknownEngineError,
+    create_engine,
+    engine_class,
+    engine_names,
+    register_engine,
+)
 from repro.core.messages import MsgType, ProtocolMessage
 from repro.core.page import FrameState, HomePage, PageFrame, ServerState
-from repro.core.protocol import MGSProtocol, ProtocolStats
 
 __all__ = [
+    "ArcRules",
     "FrameState",
     "HomePage",
     "MessageBus",
     "MessageFlow",
     "MsgType",
     "PageFrame",
+    "Protocol",
     "ProtocolMessage",
     "ServerState",
     "MGSProtocol",
     "ProtocolStats",
     "Transaction",
+    "UnknownEngineError",
+    "create_engine",
+    "engine_class",
+    "engine_names",
     "handles",
+    "register_engine",
 ]
+
+
+def __getattr__(name: str):
+    # MGSProtocol historically lived here; import it lazily so that
+    # ``import repro.core`` does not pull in the whole engine package.
+    if name == "MGSProtocol":
+        from repro.protocols.mgs.protocol import MGSProtocol
+
+        return MGSProtocol
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

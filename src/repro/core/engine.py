@@ -1,0 +1,394 @@
+"""The pluggable coherence-engine seam: ``Protocol`` plus the registry.
+
+The simulation spine (``repro.runtime``) drives shared memory through a
+small abstract surface — service a mapping fault, perform a release,
+optionally perform acquire-side coherence, and load/inspect data outside
+timed execution.  :class:`Protocol` pins that surface down so rival
+coherence engines can be swapped in behind ``MachineConfig.protocol``:
+
+* ``protocols/mgs`` — the paper's multigrain protocol (the default).
+* ``protocols/swdsm`` — single-grain software page DSM (Figure 6's
+  all-software baseline).
+* ``protocols/sc_pages`` — sequentially-consistent single-writer pages.
+* ``protocols/gcs`` — synchronization-piggybacked coherence in the
+  spirit of Soul (GCS).
+
+Engines register themselves by name (:func:`register_engine`); the
+runtime constructs whatever ``config.protocol`` names via
+:func:`create_engine`.  Two hooks keep the tooling engine-agnostic:
+:meth:`Protocol.bus_handlers` declares the message labels an engine must
+have registered on its bus (checked at construction, mirrored statically
+by ``repro.analysis.lint``), and :meth:`Protocol.arc_rules` hands the
+invariant sanitizer an engine-specific rule set.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Callable, ClassVar
+
+import numpy as np
+
+from repro.core.bus import MessageBus
+from repro.core.page import HomePage
+from repro.params import WORD_BYTES, CostModel, MachineConfig, ProtocolOptions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hw import CacheSystem
+    from repro.machine import Machine
+    from repro.sim import Simulator
+    from repro.svm import AddressSpace
+
+__all__ = [
+    "ArcRules",
+    "Protocol",
+    "ProtocolStats",
+    "UnknownEngineError",
+    "create_engine",
+    "engine_class",
+    "engine_names",
+    "register_engine",
+    "validate_engine_config",
+]
+
+
+class ProtocolStats:
+    """Event counters for the software shared-memory protocol."""
+
+    def __init__(self) -> None:
+        self.counters: Counter = Counter()
+
+    def record(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+
+    def __getitem__(self, name: str) -> int:
+        return self.counters[name]
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.counters)
+
+
+class ArcRules:
+    """Engine-specific validation rules for the invariant sanitizer.
+
+    The sanitizer (:class:`repro.analysis.invariants.InvariantSanitizer`)
+    owns the generic observation plumbing — bus taps, transaction traces,
+    the message ring, violation raising — and delegates every semantic
+    judgement to the rule object the engine's :meth:`Protocol.arc_rules`
+    returned.  The base class accepts everything; engines override the
+    three hooks with their own legal-arc catalogue.
+    """
+
+    def __init__(self, sanitizer) -> None:
+        self.s = sanitizer
+        self.protocol = sanitizer.protocol
+
+    def on_message(self, msg) -> None:
+        """Validate the pre-state of one delivered bus message."""
+
+    def check_page(self, vpn: int) -> None:
+        """Structural consistency of one page's distributed state."""
+
+    def check_quiescent(self) -> None:
+        """Full-state leak sweep once the simulation has drained."""
+
+
+class Protocol:
+    """Abstract coherence engine behind the runtime's shared memory.
+
+    Subclasses must implement :meth:`fault` and :meth:`release` and
+    declare their bus surface via :meth:`bus_handlers`.  The base class
+    provides the state every engine shares — per-processor TLBs, the
+    typed message bus, home pages, stats — plus the default behaviors
+    MGS defined historically, so the MGS engine itself overrides almost
+    nothing and stays cycle-identical to the pre-refactor code.
+
+    State contract with :class:`repro.runtime.env.Env` (the application
+    access engine binds these once, at spawn time):
+
+    * ``tlbs[pid]`` — the per-processor TLB.
+    * ``frames_view(pid)`` — a dict ``vpn -> frame`` of the replicas the
+      processor reads through; each frame exposes ``data`` (numpy array)
+      and ``owner_pid``.
+    * ``hw_bypass`` — True when software coherence is nulled and the
+      whole machine behaves as one hardware-coherent SSMP.
+    * ``home(vpn).data`` — the authoritative copy used by the hardware
+      bypass path and by :meth:`poke`/:meth:`peek`.
+    """
+
+    #: registry key; subclasses must override
+    name: ClassVar[str] = ""
+    #: True when the engine performs acquire-side coherence work; the
+    #: runtime then calls :meth:`acquire` at lock acquisition and
+    #: barrier departure
+    needs_acquire: ClassVar[bool] = False
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        machine: "Machine",
+        aspace: "AddressSpace",
+        cache: "CacheSystem",
+        config: MachineConfig,
+        costs: CostModel,
+    ) -> None:
+        from repro.svm import TLB
+
+        self.sim = sim
+        self.machine = machine
+        self.aspace = aspace
+        self.cache = cache
+        self.config = config
+        self.costs = costs
+        self.options = config.options
+        self.tlbs = [TLB(p) for p in range(config.total_processors)]
+        self.homes: dict[int, HomePage] = {}
+        self.stats = ProtocolStats()
+        #: per-page event counts backing the multigrain-locality report
+        #: (see repro.metrics.locality)
+        self.page_stats: dict[int, dict[str, int]] = {}
+        self.bus = MessageBus(machine, config)
+
+    # ------------------------------------------------------------------
+    # engine surface (the runtime calls these)
+    # ------------------------------------------------------------------
+
+    def fault(
+        self, pid: int, vpn: int, want_write: bool, on_done: Callable[[], None]
+    ) -> None:
+        """Service a TLB fault for ``pid`` on page ``vpn``.
+
+        Must be invoked at the faulting thread's current time; ``on_done``
+        fires once the mapping is installed.
+        """
+        raise NotImplementedError
+
+    def release(self, pid: int, on_done: Callable[[], None]) -> None:
+        """Perform release-point coherence for ``pid`` (unlock/barrier)."""
+        raise NotImplementedError
+
+    def acquire(self, pid: int, on_done: Callable[[], None]) -> None:
+        """Perform acquire-side coherence for ``pid``.
+
+        Only called when :attr:`needs_acquire` is True (lock acquisition
+        and barrier departure).  The default completes synchronously with
+        zero cost.
+        """
+        on_done()
+
+    @property
+    def hw_bypass(self) -> bool:
+        """True when software coherence is nulled for this run.
+
+        The default mirrors MGS: at ``C == P`` the machine is one
+        tightly-coupled SSMP and pure hardware coherence applies.
+        Engines that never exploit hardware sharing (swdsm) return False
+        unconditionally.
+        """
+        return self.config.hardware_only
+
+    def frames_view(self, pid: int) -> dict:
+        """The ``vpn -> frame`` mapping processor ``pid`` accesses through.
+
+        The default is cluster-grain sharing: every processor of an SSMP
+        sees the same frame dict.  Engines with a different replication
+        grain (swdsm replicates per processor) override this.
+        """
+        return self.frames[self.config.cluster_of(pid)]
+
+    def bus_handlers(self) -> frozenset[str]:
+        """The message labels this engine must have handlers for."""
+        raise NotImplementedError
+
+    def arc_rules(self, sanitizer) -> ArcRules:
+        """Sanitizer rules for this engine (default: structural no-op)."""
+        return ArcRules(sanitizer)
+
+    def check_invariants(self) -> None:
+        """Assert cross-engine invariants; raises AssertionError on bugs."""
+
+    def check_bus(self) -> None:
+        """Verify every declared label has a registered bus handler."""
+        missing = sorted(self.bus_handlers() - self.bus.handled_labels())
+        if missing:
+            raise LookupError(
+                f"engine {self.name!r} declares labels with no handler: "
+                f"{missing}"
+            )
+
+    # ------------------------------------------------------------------
+    # per-engine configuration validation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def validate_config(cls, config: MachineConfig) -> None:
+        """Reject configuration knobs this engine does not implement.
+
+        The default refuses non-default :class:`ProtocolOptions`: those
+        knobs (single-writer optimization, fast read clean) are MGS
+        design-ablation switches and silently ignoring them would
+        simulate a different machine than requested.  MGS overrides this
+        to accept everything.
+        """
+        if config.options != ProtocolOptions():
+            raise ValueError(
+                f"options {config.options} are MGS-specific; engine "
+                f"{cls.name!r} does not implement them"
+            )
+
+    # ------------------------------------------------------------------
+    # shared state accessors
+    # ------------------------------------------------------------------
+
+    def home(self, vpn: int) -> HomePage:
+        """Home state of a page, created on first use with zeroed data."""
+        page = self.homes.get(vpn)
+        if page is None:
+            home_pid = self.aspace.home_proc(vpn)
+            page = HomePage(
+                vpn=vpn,
+                home_pid=home_pid,
+                data=np.zeros(self.config.words_per_page, dtype=np.float64),
+            )
+            self.homes[vpn] = page
+        return page
+
+    def home_cluster(self, vpn: int) -> int:
+        return self.config.cluster_of(self.aspace.home_proc(vpn))
+
+    def dispatch_cost(self, cluster: int, vpn: int) -> int:
+        """Handler dispatch cost for a message between ``cluster`` and
+        the page's home: cheaper when it never left the SSMP."""
+        if cluster == self.home_cluster(vpn):
+            return self.costs.msg_intra_ssmp
+        return self.costs.msg_inter_ssmp
+
+    def record_page(self, vpn: int, key: str, amount: int = 1) -> None:
+        """Count a per-page protocol event for the locality report."""
+        counts = self.page_stats.get(vpn)
+        if counts is None:
+            counts = {}
+            self.page_stats[vpn] = counts
+        counts[key] = counts.get(key, 0) + amount
+
+    # ------------------------------------------------------------------
+    # zero-cost data loading / inspection (outside timed execution)
+    # ------------------------------------------------------------------
+
+    def poke(self, addr: int, value: float) -> None:
+        """Write the home copy directly, with no simulated cost.
+
+        Used to load initial application data, the way the real system's
+        loader populates memory before the timed region starts.
+        """
+        vpn = self.aspace.vpn_of(addr)
+        word = self.aspace.word_of(addr)
+        self.home(vpn).data[word] = value
+
+    def peek(self, addr: int) -> float:
+        """Read the current coherent value of ``addr`` with no cost."""
+        vpn = self.aspace.vpn_of(addr)
+        word = self.aspace.word_of(addr)
+        return float(self.page_view(vpn)[word])
+
+    def page_view(self, vpn: int) -> np.ndarray:
+        """The current coherent contents of a page, cost-free.
+
+        Used by result validation (``SharedArray.snapshot``) and
+        :meth:`peek`.  The default returns the home copy, which release
+        consistency makes authoritative after the final barrier.  Engines
+        whose home copy can legitimately lag a live replica even then
+        (sc_pages' exclusive writer) override this.
+        """
+        return self.home(vpn).data
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def words_per_page(self) -> int:
+        return self.config.words_per_page
+
+    def page_first_line(self, vpn: int) -> int:
+        return vpn * self.config.lines_per_page
+
+    def addr_line(self, addr: int) -> int:
+        return addr // self.config.line_size
+
+    def word_index(self, addr: int) -> int:
+        return (addr % self.config.page_size) // WORD_BYTES
+
+
+# ---------------------------------------------------------------------------
+# the registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, type[Protocol]] = {}
+
+
+class UnknownEngineError(ValueError):
+    """``config.protocol`` named an engine the registry does not know."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.known = engine_names()
+        super().__init__(
+            f"unknown protocol engine {name!r}; known engines: "
+            f"{', '.join(self.known)}"
+        )
+
+
+def register_engine(cls: type[Protocol]) -> type[Protocol]:
+    """Class decorator: register ``cls`` under ``cls.name``."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must set a non-empty name")
+    existing = _REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"engine name {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Engine packages self-register on import; repro.protocols pulls
+    # them all in.  Imported lazily to keep repro.core cycle-free.
+    import repro.protocols  # noqa: F401
+
+
+def engine_names() -> list[str]:
+    """Sorted names of every registered engine."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def engine_class(name: str) -> type[Protocol]:
+    """The engine class registered under ``name``."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownEngineError(name) from None
+
+
+def validate_engine_config(config: MachineConfig) -> None:
+    """Registry lookup plus the engine's own option validation.
+
+    ``MachineConfig.__post_init__`` calls this for every construction,
+    so an unknown engine name or an engine/option mismatch fails at
+    configuration time — long before a simulation starts.
+    """
+    engine_class(config.protocol).validate_config(config)
+
+
+def create_engine(
+    name: str,
+    sim: "Simulator",
+    machine: "Machine",
+    aspace: "AddressSpace",
+    cache: "CacheSystem",
+    config: MachineConfig,
+    costs: CostModel,
+) -> Protocol:
+    """Instantiate the engine registered under ``name``."""
+    return engine_class(name)(sim, machine, aspace, cache, config, costs)

@@ -45,6 +45,7 @@ def run_result_to_dict(result: RunResult) -> dict:
         "cluster_size": result.config.cluster_size,
         "inter_ssmp_delay": result.config.inter_ssmp_delay,
         "page_size": result.config.page_size,
+        "engine": result.config.protocol,
         "total_time": result.total_time,
         "breakdown": result.breakdown(),
         "lock": {
@@ -83,6 +84,7 @@ def sweep_to_dict(sweep: ClusterSweep) -> dict:
     return {
         "schema_version": SCHEMA_VERSION,
         "app": sweep.app,
+        "protocol": sweep.protocol,
         "total_processors": sweep.total_processors,
         "breakup_penalty": _derived(sweep, "breakup_penalty"),
         "multigrain_potential": _derived(sweep, "multigrain_potential"),
@@ -110,7 +112,7 @@ def sweep_to_csv(sweep: ClusterSweep) -> str:
     writer = csv.writer(buf)
     writer.writerow(
         ["app", "cluster_size", "total_time", "user", "lock", "barrier",
-         "mgs", "lock_hit_ratio"]
+         "protocol_time", "lock_hit_ratio", "protocol"]
     )
     for p in sweep.points:
         writer.writerow(
@@ -121,8 +123,11 @@ def sweep_to_csv(sweep: ClusterSweep) -> str:
                 round(p.breakdown.get("user", 0.0)),
                 round(p.breakdown.get("lock", 0.0)),
                 round(p.breakdown.get("barrier", 0.0)),
+                # The runtime's bucket for software-shared-memory time is
+                # historically named "mgs" whichever engine produced it.
                 round(p.breakdown.get("mgs", 0.0)),
                 f"{p.lock_hit_ratio:.4f}",
+                sweep.protocol,
             ]
         )
     return buf.getvalue()

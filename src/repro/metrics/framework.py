@@ -114,6 +114,8 @@ class ClusterSweep:
     app: str
     total_processors: int
     points: list[SweepPoint]
+    #: coherence engine the sweep ran under (see repro.protocols)
+    protocol: str = "mgs"
 
     def times(self) -> dict[int, float]:
         return {p.cluster_size: float(p.total_time) for p in self.points}

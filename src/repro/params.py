@@ -19,6 +19,7 @@ Two dataclasses are exported:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, fields, replace
 
 __all__ = [
@@ -160,6 +161,10 @@ class MachineConfig:
             software-extended directory (LimitLESS) takes over.
         network: the ``repro.net`` interconnect configuration (topology,
             fault injection, reliable transport).
+        protocol: name of the coherence engine driving software shared
+            memory — ``"mgs"`` (default), ``"swdsm"``, ``"sc_pages"``,
+            or ``"gcs"``; see :mod:`repro.protocols`.  Participates in
+            run-cache keys (the config is hashed whole).
     """
 
     total_processors: int = 32
@@ -178,6 +183,13 @@ class MachineConfig:
     lan_bandwidth: float = 0.0
     network: NetworkConfig = field(default_factory=NetworkConfig)
     options: ProtocolOptions = field(default_factory=ProtocolOptions)
+    #: default engine comes from ``REPRO_PROTOCOL`` so an engine-agnostic
+    #: test subset can run under any engine (the CI protocol-matrix job);
+    #: explicit ``protocol=`` always wins, and the field participates in
+    #: run-cache keys either way.
+    protocol: str = field(
+        default_factory=lambda: os.environ.get("REPRO_PROTOCOL", "mgs")
+    )
 
     def __post_init__(self) -> None:
         if self.total_processors < 1:
@@ -194,6 +206,16 @@ class MachineConfig:
             raise ValueError("intra_wire_latency must be >= 0")
         if self.control_msg_bytes < 1:
             raise ValueError("control_msg_bytes must be >= 1")
+        if not isinstance(self.protocol, str) or not self.protocol:
+            raise ValueError("protocol must be a non-empty engine name")
+        if self.protocol != "mgs":
+            # Registry lookup + per-engine option validation.  Imported
+            # lazily: params is a leaf module and the engine registry
+            # sits far above it; the default engine skips the lookup so
+            # config construction stays import-cycle-free and cheap.
+            from repro.core.engine import validate_engine_config
+
+            validate_engine_config(self)
 
     @property
     def num_clusters(self) -> int:

@@ -1,0 +1,155 @@
+"""Invariant-sanitizer rules for the lazy-RC (gcs) engine."""
+
+from __future__ import annotations
+
+from repro.core.engine import ArcRules
+from repro.core.page import FrameState
+
+__all__ = ["GCSArcRules"]
+
+
+class GCSArcRules(ArcRules):
+    """Legal-arc catalogue for ``protocols/gcs``."""
+
+    def __init__(self, sanitizer) -> None:
+        super().__init__(sanitizer)
+        self.config = sanitizer.config
+
+    def on_message(self, msg) -> None:
+        check = self._CHECKS.get(msg.label)
+        if check is not None:
+            check(self, msg)
+
+    def _fail(self, rule: str, detail: str, msg) -> None:
+        self.s.fail(rule, detail, vpn=msg.vpn, txn=msg.txn)
+
+    # ------------------------------------------------------------------
+    # per-message pre-state checks
+    # ------------------------------------------------------------------
+
+    def _check_grant(self, msg) -> None:
+        frame = self.protocol.frames[msg.dst_cluster].get(msg.vpn)
+        if frame is None or not frame.lock_held:
+            self._fail(
+                "gcs-grant",
+                f"{msg.label} for vpn {msg.vpn} at cluster "
+                f"{msg.dst_cluster} with no fetch outstanding",
+                msg,
+            )
+        elif frame.state is not FrameState.BUSY:
+            self._fail(
+                "gcs-grant",
+                f"{msg.label} for vpn {msg.vpn} but cluster "
+                f"{msg.dst_cluster} is {frame.state.value}, not fetching",
+                msg,
+            )
+
+    def _check_adata(self, msg) -> None:
+        p = self.protocol
+        frame = p.frames[msg.dst_cluster].get(msg.vpn)
+        if frame is None or not frame.lock_held:
+            self._fail(
+                "gcs-refresh",
+                f"G_ADATA for vpn {msg.vpn} at cluster {msg.dst_cluster} "
+                "with no refresh outstanding",
+                msg,
+            )
+            return
+        if frame.state is not FrameState.WRITE or frame.twin is None:
+            state = frame.state.value
+            self._fail(
+                "gcs-refresh",
+                f"G_ADATA for vpn {msg.vpn} but cluster {msg.dst_cluster} "
+                f"is {state} (twin "
+                f"{'present' if frame.twin is not None else 'absent'}); "
+                "refreshes only target written pages",
+                msg,
+            )
+        if (msg.dst_cluster, msg.vpn) not in p._refreshing:
+            self._fail(
+                "gcs-refresh",
+                f"G_ADATA for vpn {msg.vpn} at cluster {msg.dst_cluster} "
+                "with no acquire waiting on the refresh",
+                msg,
+            )
+
+    def _check_rack(self, msg) -> None:
+        if msg.dst_pid not in self.protocol._drain:
+            self._fail(
+                "gcs-rack",
+                f"G_RACK for vpn {msg.vpn} but proc {msg.dst_pid} has no "
+                "release drain awaiting an acknowledgement",
+                msg,
+            )
+
+    def _check_version(self, msg) -> None:
+        # Grants and acks carry monotone versions; a cluster may never
+        # believe it is *ahead* of the home.
+        p = self.protocol
+        fv = p.fversions[msg.dst_cluster].get(msg.vpn)
+        if fv is not None and fv > p.versions.get(msg.vpn, 0):
+            self._fail(
+                "gcs-version",
+                f"cluster {msg.dst_cluster} holds vpn {msg.vpn} at "
+                f"fversion {fv} > home version "
+                f"{p.versions.get(msg.vpn, 0)}",
+                msg,
+            )
+
+    def _check_grant_and_version(self, msg) -> None:
+        self._check_grant(msg)
+        self._check_version(msg)
+
+    _CHECKS = {
+        "G_DATA": _check_grant_and_version,
+        "G_WDATA": _check_grant_and_version,
+        "G_ADATA": _check_adata,
+        "G_RACK": _check_rack,
+    }
+
+    # ------------------------------------------------------------------
+    # structural checks
+    # ------------------------------------------------------------------
+
+    def check_page(self, vpn: int) -> None:
+        p = self.protocol
+        for cluster in range(self.config.num_clusters):
+            fv = p.fversions[cluster].get(vpn)
+            if fv is not None and fv > p.versions.get(vpn, 0):
+                self.s.fail(
+                    "gcs-version",
+                    f"cluster {cluster} holds vpn {vpn} at fversion {fv} "
+                    f"> home version {p.versions.get(vpn, 0)}",
+                    vpn=vpn,
+                )
+
+    def check_quiescent(self) -> None:
+        p = self.protocol
+        for cluster, frames in enumerate(p.frames):
+            for vpn, frame in sorted(frames.items()):
+                if frame.state is FrameState.BUSY or frame.lock_held:
+                    self.s.fail(
+                        "quiesce-gcs-busy",
+                        f"cluster {cluster} still fetching or refreshing "
+                        f"vpn {vpn} at quiescence",
+                        vpn=vpn,
+                    )
+                if frame.state is FrameState.WRITE and frame.twin is None:
+                    self.s.fail(
+                        "quiesce-gcs-twin",
+                        f"cluster {cluster} holds vpn {vpn} writable with "
+                        "no twin at quiescence",
+                        vpn=vpn,
+                    )
+        if p._refreshing:
+            self.s.fail(
+                "quiesce-gcs-refresh",
+                "acquire refreshes still outstanding at quiescence: "
+                f"{sorted(p._refreshing)}",
+            )
+        if p._drain:
+            self.s.fail(
+                "quiesce-gcs-drain",
+                f"release drains still awaiting acks at quiescence: "
+                f"procs {sorted(p._drain)}",
+            )

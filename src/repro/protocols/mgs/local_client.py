@@ -36,7 +36,7 @@ from repro.core.page import FrameState, PageFrame, Waiter
 from repro.svm import MapMode
 
 if TYPE_CHECKING:
-    from repro.core.protocol import MGSProtocol
+    from repro.protocols.mgs.protocol import MGSProtocol
 
 __all__ = ["LocalClient"]
 

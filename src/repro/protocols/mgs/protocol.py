@@ -6,9 +6,9 @@
   the Local Client services it and the callback fires at completion time.
 * :meth:`MGSProtocol.release` — a processor reached a release point
   (unlock or barrier); the DUQ is drained, one ``REL`` at a time.
-* :meth:`MGSProtocol.poke` / :meth:`MGSProtocol.peek` — zero-cost home
-  copy initialization / inspection, used to load application data before
-  timing starts and to validate results afterwards.
+* ``poke`` / ``peek`` (inherited) — zero-cost home copy initialization /
+  inspection, used to load application data before timing starts and to
+  validate results afterwards.
 
 The protocol also exposes the shared state the engines operate on: TLBs,
 DUQs, per-cluster page frames, and per-page home state.
@@ -16,41 +16,50 @@ DUQs, per-cluster page frames, and per-page home state.
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Callable
 
-import numpy as np
-
-from repro.core.bus import MessageBus
-from repro.core.duq import DUQ
-from repro.core.page import FrameState, HomePage, PageFrame
+from repro.core.engine import Protocol, ProtocolStats, register_engine
+from repro.core.messages import MsgType
+from repro.core.page import FrameState, PageFrame
 from repro.hw import CacheSystem
 from repro.machine import Machine
-from repro.params import WORD_BYTES, CostModel, MachineConfig
+from repro.params import CostModel, MachineConfig
+from repro.protocols.mgs.duq import DUQ
 from repro.sim import Simulator
-from repro.svm import TLB, AddressSpace
+from repro.svm import AddressSpace
 
-__all__ = ["MGSProtocol", "ProtocolStats"]
+__all__ = ["MGSProtocol", "ProtocolStats", "REQUIRED_LABELS"]
+
+#: every bus label the MGS engines must have a handler for: the sixteen
+#: Table-2 message types plus the internal retained-copy unlock.  Kept as
+#: a literal so ``repro.analysis.lint`` can check it statically against
+#: the ``@handles`` registrations; the assert below pins it to ``MsgType``.
+REQUIRED_LABELS = (
+    "RREQ",
+    "WREQ",
+    "RDAT",
+    "WDAT",
+    "UPGRADE",
+    "UP_ACK",
+    "PINV",
+    "PINV_ACK",
+    "INV",
+    "ACK",
+    "DIFF",
+    "REL",
+    "RACK",
+    "WNOTIFY",
+    "1WINV",
+    "1WDATA",
+    "1W_UNLOCK",
+)
 
 
-class ProtocolStats:
-    """Event counters for the software shared-memory protocol."""
-
-    def __init__(self) -> None:
-        self.counters: Counter = Counter()
-
-    def record(self, name: str, amount: int = 1) -> None:
-        self.counters[name] += amount
-
-    def __getitem__(self, name: str) -> int:
-        return self.counters[name]
-
-    def as_dict(self) -> dict[str, int]:
-        return dict(self.counters)
-
-
-class MGSProtocol:
+@register_engine
+class MGSProtocol(Protocol):
     """The complete multigrain shared-memory system of the paper."""
+
+    name = "mgs"
 
     def __init__(
         self,
@@ -61,14 +70,7 @@ class MGSProtocol:
         config: MachineConfig,
         costs: CostModel,
     ) -> None:
-        self.sim = sim
-        self.machine = machine
-        self.aspace = aspace
-        self.cache = cache
-        self.config = config
-        self.costs = costs
-        self.options = config.options
-        self.tlbs = [TLB(p) for p in range(config.total_processors)]
+        super().__init__(sim, machine, aspace, cache, config, costs)
         self.duqs = [DUQ(p) for p in range(config.total_processors)]
         #: pages whose DUQ entry was stolen by an invalidation round
         #: (Table 1, arc 12) before this processor released them; the
@@ -77,18 +79,12 @@ class MGSProtocol:
         self.frames: list[dict[int, PageFrame]] = [
             {} for _ in range(config.num_clusters)
         ]
-        self.homes: dict[int, HomePage] = {}
-        self.stats = ProtocolStats()
-        #: per-page event counts backing the multigrain-locality report
-        #: (see repro.metrics.locality)
-        self.page_stats: dict[int, dict[str, int]] = {}
 
         # The engines import this module; bind them lazily to avoid cycles.
-        from repro.core.local_client import LocalClient
-        from repro.core.remote_client import RemoteClient
-        from repro.core.server import Server
+        from repro.protocols.mgs.local_client import LocalClient
+        from repro.protocols.mgs.remote_client import RemoteClient
+        from repro.protocols.mgs.server import Server
 
-        self.bus = MessageBus(machine, config)
         self.local = LocalClient(self)
         self.remote = RemoteClient(self)
         self.server = Server(self)
@@ -98,34 +94,27 @@ class MGSProtocol:
         self.bus.check_complete()
 
     # ------------------------------------------------------------------
+    # engine surface
+    # ------------------------------------------------------------------
+
+    def bus_handlers(self) -> frozenset[str]:
+        return frozenset(REQUIRED_LABELS)
+
+    def arc_rules(self, sanitizer):
+        from repro.protocols.mgs.arcs import MGSArcRules
+
+        return MGSArcRules(sanitizer)
+
+    @classmethod
+    def validate_config(cls, config: MachineConfig) -> None:
+        """MGS implements every :class:`ProtocolOptions` knob."""
+
+    # ------------------------------------------------------------------
     # state accessors
     # ------------------------------------------------------------------
 
-    def home(self, vpn: int) -> HomePage:
-        """Home state of a page, created on first use with zeroed data."""
-        page = self.homes.get(vpn)
-        if page is None:
-            home_pid = self.aspace.home_proc(vpn)
-            page = HomePage(
-                vpn=vpn,
-                home_pid=home_pid,
-                data=np.zeros(self.config.words_per_page, dtype=np.float64),
-            )
-            self.homes[vpn] = page
-        return page
-
     def frame(self, cluster: int, vpn: int) -> PageFrame | None:
         return self.frames[cluster].get(vpn)
-
-    def home_cluster(self, vpn: int) -> int:
-        return self.config.cluster_of(self.aspace.home_proc(vpn))
-
-    def dispatch_cost(self, cluster: int, vpn: int) -> int:
-        """Handler dispatch cost for a message between ``cluster`` and
-        the page's home: cheaper when it never left the SSMP."""
-        if cluster == self.home_cluster(vpn):
-            return self.costs.msg_intra_ssmp
-        return self.costs.msg_inter_ssmp
 
     # ------------------------------------------------------------------
     # runtime-facing operations
@@ -161,42 +150,6 @@ class MGSProtocol:
 
         self.local.release(pid, done, txn)
 
-    def record_page(self, vpn: int, key: str, amount: int = 1) -> None:
-        """Count a per-page protocol event for the locality report."""
-        counts = self.page_stats.get(vpn)
-        if counts is None:
-            counts = {}
-            self.page_stats[vpn] = counts
-        counts[key] = counts.get(key, 0) + amount
-
-    # ------------------------------------------------------------------
-    # zero-cost data loading / inspection (outside timed execution)
-    # ------------------------------------------------------------------
-
-    def poke(self, addr: int, value: float) -> None:
-        """Write the home copy directly, with no simulated cost.
-
-        Used to load initial application data, the way the real system's
-        loader populates memory before the timed region starts.
-        """
-        vpn = self.aspace.vpn_of(addr)
-        word = self.aspace.word_of(addr)
-        self.home(vpn).data[word] = value
-
-    def peek(self, addr: int) -> float:
-        """Read the current *home* value of ``addr`` with no cost.
-
-        Only meaningful at points where the home is consistent (after the
-        final barrier of a run).
-        """
-        vpn = self.aspace.vpn_of(addr)
-        word = self.aspace.word_of(addr)
-        home = self.home(vpn)
-        # After a clean finish the home copy is authoritative, but a
-        # retained single-writer copy may hold newer released data; the
-        # protocol keeps the home consistent at releases, so home is safe.
-        return float(home.data[word])
-
     # ------------------------------------------------------------------
     # invariants (used by tests)
     # ------------------------------------------------------------------
@@ -229,15 +182,7 @@ class MGSProtocol:
                     f"write_dir of vpn {vpn} lists cluster {cluster} with no frame"
                 )
 
-    @property
-    def words_per_page(self) -> int:
-        return self.config.words_per_page
 
-    def page_first_line(self, vpn: int) -> int:
-        return vpn * self.config.lines_per_page
-
-    def addr_line(self, addr: int) -> int:
-        return addr // self.config.line_size
-
-    def word_index(self, addr: int) -> int:
-        return (addr % self.config.page_size) // WORD_BYTES
+assert set(REQUIRED_LABELS) == {t.value for t in MsgType} | {"1W_UNLOCK"}, (
+    "REQUIRED_LABELS out of sync with MsgType"
+)

@@ -47,7 +47,7 @@ from repro.core.messages import (
 from repro.core.page import FrameState, PageFrame, dirty_lines, make_diff
 
 if TYPE_CHECKING:
-    from repro.core.protocol import MGSProtocol
+    from repro.protocols.mgs.protocol import MGSProtocol
 
 __all__ = ["RemoteClient"]
 

@@ -56,7 +56,7 @@ from repro.core.messages import (
 from repro.core.page import FrameState, HomePage, ServerState, apply_diff
 
 if TYPE_CHECKING:
-    from repro.core.protocol import MGSProtocol
+    from repro.protocols.mgs.protocol import MGSProtocol
 
 __all__ = ["Server"]
 

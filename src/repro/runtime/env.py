@@ -145,13 +145,13 @@ class Env:
         self._page_size = config.page_size
         self._line_size = config.line_size
         self._quantum = runtime.quantum
-        self._hw_only = config.hardware_only
+        self._hw_only = runtime.protocol.hw_bypass
         self._protocol = runtime.protocol
         self._cache = runtime.cache
         self._cache_counts = runtime.cache._counts  # slot 0 counts hits
         self._hit_cost = runtime.cache.hit_cost
         self._tlb = runtime.protocol.tlbs[self.pid]
-        self._frames = runtime.protocol.frames[self.cluster]
+        self._frames = runtime.protocol.frames_view(self.pid)
         self._costs = runtime.costs
         self._ta = self._costs.translate_array
         self._tp = self._costs.translate_pointer

@@ -19,7 +19,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core import MGSProtocol
+from repro.core.engine import create_engine
 from repro.hw import CacheSystem
 from repro.machine import Machine
 from repro.params import CostModel, MachineConfig
@@ -116,8 +116,14 @@ class Runtime:
         self.machine = Machine(self.sim, config, self.costs)
         self.aspace = AddressSpace(config)
         self.cache = CacheSystem(config, self.costs)
-        self.protocol = MGSProtocol(
-            self.sim, self.machine, self.aspace, self.cache, config, self.costs
+        self.protocol = create_engine(
+            config.protocol,
+            self.sim,
+            self.machine,
+            self.aspace,
+            self.cache,
+            config,
+            self.costs,
         )
         self.barrier_obj = TreeBarrier(self.machine, config, self.costs)
         self.locks: list[MGSLock] = []
@@ -275,6 +281,24 @@ class Runtime:
         t.last_yield = now
         self._resume(t, None)
 
+    def _wake_acquire(self, t: ThreadContext, bucket: str) -> None:
+        """Wake after a lock grant / barrier departure, running the
+        engine's acquire-side coherence first when it has any.
+
+        Engines that piggyback coherence on synchronization (gcs) do
+        their invalidation work here; the wait so far lands in the sync
+        bucket and the coherence work in the mgs bucket.  For engines
+        without acquire work this is exactly :meth:`_wake`.
+        """
+        if not self.protocol.needs_acquire:
+            self._wake(t, bucket)
+            return
+        now = self.sim.now
+        setattr(t, bucket, getattr(t, bucket) + now - t.block_start)
+        t.time = now
+        t.block_start = now
+        self.protocol.acquire(t.pid, lambda: self._wake(t, "mgs"))
+
     def _handle_fault(self, t: ThreadContext, vpn: int, want_write: bool) -> None:
         t.block_start = t.time
         self.sim.schedule_at(
@@ -290,12 +314,12 @@ class Runtime:
         t.block_start = t.time
         detector = self.race_detector
         if detector is None:
-            wake = lambda: self._wake(t, "lock")  # noqa: E731
+            wake = lambda: self._wake_acquire(t, "lock")  # noqa: E731
         else:
             # Happens-before: join the lock's clock at acquisition time.
             def wake() -> None:
                 detector.on_acquire(t.pid, lk.lock_id)
-                self._wake(t, "lock")
+                self._wake_acquire(t, "lock")
 
         self.sim.schedule_at(t.time, lk.acquire, t.pid, wake)
 
@@ -306,7 +330,7 @@ class Runtime:
             # lock at the release point (before the DUQ flush; the
             # thread performs no accesses in between).
             self.race_detector.on_release(t.pid, lk.lock_id)
-        if self.config.hardware_only:
+        if self.protocol.hw_bypass:
             self.sim.schedule_at(
                 t.time, lk.release, t.pid, lambda: self._wake(t, "lock")
             )
@@ -328,7 +352,7 @@ class Runtime:
         t.block_start = t.time
         detector = self.race_detector
         if detector is None:
-            wake = lambda: self._wake(t, "barrier")  # noqa: E731
+            wake = lambda: self._wake_acquire(t, "barrier")  # noqa: E731
         else:
             # Happens-before: a barrier is a release by all arrivals
             # followed by an acquire by all departures.
@@ -336,9 +360,9 @@ class Runtime:
 
             def wake() -> None:
                 detector.on_barrier_depart(t.pid)
-                self._wake(t, "barrier")
+                self._wake_acquire(t, "barrier")
 
-        if self.config.hardware_only:
+        if self.protocol.hw_bypass:
             self.sim.schedule_at(t.time, self.barrier_obj.arrive, t.pid, wake)
             return
 

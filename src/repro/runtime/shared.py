@@ -65,7 +65,7 @@ class SharedArray:
             protocol.home(vpn).data[: len(chunk)] = chunk
 
     def snapshot(self) -> np.ndarray:
-        """Read the home copies (authoritative after the final barrier)."""
+        """Read the coherent page contents (cost-free, for validation)."""
         protocol = self._rt.protocol
         wpp = self._rt.config.words_per_page
         first_vpn = self.base // self._rt.config.page_size
@@ -73,7 +73,7 @@ class SharedArray:
         for start in range(0, self.length, wpp):
             vpn = first_vpn + start // wpp
             n = min(wpp, self.length - start)
-            out[start : start + n] = protocol.home(vpn).data[:n]
+            out[start : start + n] = protocol.page_view(vpn)[:n]
         return out
 
     def __len__(self) -> int:

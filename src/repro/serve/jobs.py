@@ -131,7 +131,9 @@ class JobQueue:
         the run cache's index; None when nothing is known yet."""
         remaining = job.request.sizes[job.points_done:]
         estimates = [
-            self._estimator.estimate_seconds(job.request.workload, c)
+            self._estimator.estimate_seconds(
+                job.request.workload, c, job.request.protocol
+            )
             for c in remaining
         ]
         known = [e for e in estimates if e is not None]
@@ -307,6 +309,7 @@ def execute_job(job: Job, jobs: int = 1) -> ClusterSweep:
             jobs=jobs,
             cache=job.cache,
             overrides=request.overrides or None,
+            protocol=request.protocol,
         )
         points.extend(sweep.points)
         app_name = sweep.app
@@ -315,4 +318,5 @@ def execute_job(job: Job, jobs: int = 1) -> ClusterSweep:
         app=app_name or request.workload,
         total_processors=request.total_processors,
         points=points,
+        protocol=request.protocol,
     )

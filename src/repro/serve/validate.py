@@ -12,7 +12,8 @@ A job submission is a JSON object describing one cluster-size sweep:
       "inter_ssmp_delay": 1000,
       "costs": {"translate_array": 10},
       "network": {"external": "bus"},
-      "overrides": {"page_size": 2048}
+      "overrides": {"page_size": 2048},
+      "protocol": "mgs"
     }
 
 Only ``workload`` is required.  Everything else defaults to the paper's
@@ -38,6 +39,7 @@ from typing import Any
 
 from repro.apps import ALL_APPS
 from repro.bench.cache import canonical_json
+from repro.core.engine import engine_names
 from repro.metrics import cluster_sizes
 from repro.params import (
     CostModel,
@@ -76,11 +78,14 @@ _REQUEST_FIELDS = (
     "costs",
     "network",
     "overrides",
+    "protocol",
 )
 
 #: MachineConfig fields the sweep controls itself — not overridable
+#: (``protocol`` has its own top-level request field)
 _RESERVED_CONFIG_FIELDS = frozenset(
-    ("total_processors", "cluster_size", "inter_ssmp_delay", "network")
+    ("total_processors", "cluster_size", "inter_ssmp_delay", "network",
+     "protocol")
 )
 
 
@@ -96,6 +101,7 @@ class JobRequest:
     costs: CostModel | None
     network: NetworkConfig | None
     overrides: dict[str, Any]
+    protocol: str
 
     def canonical(self) -> dict:
         """The deterministic JSON form (defaults applied, keys sorted)."""
@@ -114,6 +120,7 @@ class JobRequest:
                 else dataclasses.asdict(self.network)
             ),
             "overrides": dict(sorted(self.overrides.items())),
+            "protocol": self.protocol,
         }
 
     @property
@@ -132,7 +139,7 @@ class JobRequest:
             cluster_size,
             self.inter_ssmp_delay,
             self.network,
-            self.overrides or None,
+            {**self.overrides, "protocol": self.protocol},
         )
 
 
@@ -184,6 +191,13 @@ def validate_request(body: Any) -> JobRequest:
     total_processors = _require_int(body, "total_processors", 32)
     inter_ssmp_delay = _require_int(body, "inter_ssmp_delay", 1000)
 
+    protocol = body.get("protocol", "mgs")
+    engines = engine_names()
+    if protocol not in engines:
+        raise RequestError(
+            f"protocol must be one of {engines}, got {protocol!r}"
+        )
+
     overrides = body.get("overrides") or {}
     if not isinstance(overrides, dict):
         raise RequestError(
@@ -220,6 +234,7 @@ def validate_request(body: Any) -> JobRequest:
         costs=costs,
         network=network,
         overrides=dict(overrides),
+        protocol=protocol,
     )
     # Construct every point's MachineConfig now, so an unsatisfiable
     # shape (non-power-of-two sizes, C not dividing P, bad override

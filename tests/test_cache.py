@@ -71,6 +71,22 @@ def test_key_sensitive_to_every_input():
     assert len(keys) == len(variants) + 1, "some input did not change the key"
 
 
+def test_key_distinct_per_protocol():
+    """Two configs differing only in the engine never share a cache key."""
+    from repro.core.engine import engine_names
+
+    config = MachineConfig(total_processors=4, cluster_size=2)
+    engines = engine_names()
+    keys = {
+        fingerprint_run(
+            dataclasses.replace(config, protocol=name),
+            None, 1500, "app", PARAMS, source="s",
+        )[0]
+        for name in engines
+    }
+    assert len(keys) == len(engines)
+
+
 def test_key_stable_for_equal_inputs():
     config = MachineConfig(total_processors=4, cluster_size=2)
     k1, _ = fingerprint_run(config, None, 1500, "app", PARAMS, source="s")
@@ -264,6 +280,21 @@ def test_estimates_feed_cost_aware_scheduling(tmp_path):
     assert fresh.estimate_seconds("repro.apps.jacobi", 64) is not None
     # unknown workload has no estimate (scheduler runs it first)
     assert fresh.estimate_seconds("repro.apps.nonesuch", 2) is None
+
+
+def test_estimates_are_indexed_per_engine(tmp_path):
+    """The wall-time LJF index keeps working with several engines in one
+    store: exact per-engine estimates first, any-engine fallback after."""
+    root = tmp_path / "c"
+    _sweep(RunCache(root))
+    _sweep(RunCache(root), protocol="swdsm")
+    fresh = RunCache(root)
+    assert fresh.estimate_seconds("repro.apps.jacobi", 2, "mgs") is not None
+    assert fresh.estimate_seconds("repro.apps.jacobi", 2, "swdsm") is not None
+    # an engine with no recorded points falls back to any-engine timings
+    # (better than scheduling blind), an unknown workload stays unknown
+    assert fresh.estimate_seconds("repro.apps.jacobi", 2, "gcs") is not None
+    assert fresh.estimate_seconds("repro.apps.nonesuch", 2, "gcs") is None
 
 
 def test_summary_counters_are_exported(tmp_path):

@@ -79,6 +79,10 @@ def test_request_key_ignores_field_order_and_explicit_defaults():
          "may not set"),
         ({"workload": "jacobi", "overrides": {"warp_drive": 1}},
          "may not set"),
+        ({"workload": "jacobi", "overrides": {"protocol": "swdsm"}},
+         "may not set"),
+        ({"workload": "jacobi", "protocol": "token_ring"},
+         "protocol must be one of"),
         ({"workload": "jacobi", "costs": {"nope": 1}}, "unknown CostModel"),
         ({"workload": "jacobi", "network": {"nope": 1}},
          "unknown NetworkConfig"),
@@ -95,6 +99,22 @@ def test_overrides_participate_in_config_and_key():
     paged = validate_request({**JACOBI, "overrides": {"page_size": 2048}})
     assert plain.key != paged.key
     assert paged.point_config(2).page_size == 2048
+
+
+def test_protocol_field_participates_in_config_and_key():
+    """The engine name is part of the job identity: an unknown engine is
+    a 400 listing the registry, a known one selects the point engine."""
+    from repro.core.engine import engine_names
+
+    plain = validate_request(dict(JACOBI))
+    assert plain.protocol == "mgs"
+    swdsm = validate_request({**JACOBI, "protocol": "swdsm"})
+    assert swdsm.key != plain.key
+    assert swdsm.point_config(2).protocol == "swdsm"
+    with pytest.raises(RequestError) as exc:
+        validate_request({**JACOBI, "protocol": "token_ring"})
+    for name in engine_names():
+        assert name in str(exc.value)
 
 
 # ---------------------------------------------------------------------------
