@@ -15,12 +15,25 @@ sharing pattern the paper analyzes:
 * :mod:`repro.apps.water_kernel` — the Water force kernel, plain and
   with the paper's multigrain-locality loop transformation (Figure 12).
 
+Plus one synthetic workload outside Table 4:
+
+* :mod:`repro.apps.scanphase` — repeated read-only sweep phases, the
+  phase-replay engine's showcase (see ``docs/PERFORMANCE.md``).
+
 Every app validates its numerical output against a sequential golden
 computation, turning each run into an end-to-end protocol correctness
 check.
 """
 
-from repro.apps import barnes_hut, jacobi, matmul, tsp, water, water_kernel
+from repro.apps import (
+    barnes_hut,
+    jacobi,
+    matmul,
+    scanphase,
+    tsp,
+    water,
+    water_kernel,
+)
 from repro.apps.common import AppRun
 
 ALL_APPS = {
@@ -30,15 +43,21 @@ ALL_APPS = {
     "water": water,
     "barnes-hut": barnes_hut,
     "water-kernel": water_kernel,
+    "scanphase": scanphase,
 }
+
+#: workloads of ours, not the paper's — excluded from Table 4 coverage
+SYNTHETIC_APPS = frozenset({"scanphase"})
 
 __all__ = [
     "AppRun",
     "ALL_APPS",
+    "SYNTHETIC_APPS",
     "jacobi",
     "matmul",
     "tsp",
     "water",
     "barnes_hut",
     "water_kernel",
+    "scanphase",
 ]

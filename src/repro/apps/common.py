@@ -89,5 +89,6 @@ def make_runtime(
     costs: CostModel | None = None,
     quantum: int = 1500,
     fastpath: bool | None = None,
+    replay: bool | None = None,
 ) -> Runtime:
-    return Runtime(config, costs, quantum, fastpath=fastpath)
+    return Runtime(config, costs, quantum, fastpath=fastpath, replay=replay)

@@ -9,6 +9,14 @@ Sharing pattern: long read/write phases over large contiguous regions
 with no intra-phase dependences — the "coarse-grain" behaviour that makes
 Jacobi run well regardless of the shared-memory implementation (the paper
 measures a 16% breakup penalty and a flat multigrain region).
+
+Execution structure: each relaxation iteration is one barrier-delimited
+phase (``Runtime.spawn_phases``), processing whole rows through the
+batched ``read_block``/``write_block`` APIs with the per-row stencil
+arithmetic done in numpy and the floating-point work charged as one
+aggregated ``compute``.  Phases alternate between the two grid roles, so
+the replay keys are the iteration parity: once the grid reaches a fixed
+point, further iterations replay in closed form.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.apps.common import AppRun, block_range, make_runtime
-from repro.params import WORD_BYTES, CostModel, MachineConfig
+from repro.params import CostModel, MachineConfig
 from repro.runtime import Runtime
 
 __all__ = ["JacobiParams", "golden", "build", "run"]
@@ -80,35 +88,38 @@ def build(rt: Runtime, params: JacobiParams):
     grid_b.init(init.ravel())
     grids = [grid_a, grid_b]
 
-    def worker(env):
-        rows = block_range(n, nprocs, env.pid)
-        for it in range(params.iterations):
+    def factory(env, it):
+        def phase():
             src, dst = grids[it % 2], grids[(it + 1) % 2]
+            rows = block_range(n, nprocs, env.pid)
             for i in rows:
                 if i == 0 or i == n - 1:
                     continue
-                # Row-local reads hit the cache; boundary rows of the
-                # neighbouring workers are the only remote traffic.
-                row = src.addr(i * n)
-                north_off = row - n * WORD_BYTES
-                south_off = row + n * WORD_BYTES
-                for j in range(1, n - 1):
-                    jb = j * WORD_BYTES
-                    north, south, west, east = yield from env.read_many(
-                        (
-                            north_off + jb,
-                            south_off + jb,
-                            row + jb - WORD_BYTES,
-                            row + jb + WORD_BYTES,
-                        )
-                    )
-                    yield from env.compute(params.compute_per_point)
-                    yield from env.write(
-                        dst.addr(i * n + j), 0.25 * (north + south + west + east)
-                    )
+                # Whole-row reads: the own and south rows hit the local
+                # copy; the north boundary row of the neighbouring worker
+                # is the only remote traffic.
+                north = yield from env.read_block(src.addr((i - 1) * n), n)
+                mid = yield from env.read_block(src.addr(i * n), n)
+                south = yield from env.read_block(src.addr((i + 1) * n), n)
+                yield from env.compute(params.compute_per_point * (n - 2))
+                north = np.asarray(north)
+                mid = np.asarray(mid)
+                south = np.asarray(south)
+                new = 0.25 * (
+                    north[1:-1] + south[1:-1] + mid[:-2] + mid[2:]
+                )
+                yield from env.write_block(dst.addr(i * n + 1), new)
             yield from env.barrier()
 
-    rt.spawn_all(worker)
+        return phase()
+
+    # Replay key = which grid is the source: iterations of equal parity
+    # run the same program, so a converged grid replays in closed form.
+    rt.spawn_phases(
+        factory,
+        params.iterations,
+        keys=[it % 2 for it in range(params.iterations)],
+    )
     final = grids[params.iterations % 2]
     return final
 

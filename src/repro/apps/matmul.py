@@ -73,15 +73,19 @@ def build(rt: Runtime, params: MatmulParams):
         b_stride = n * WORD_BYTES
         for i in rows:
             a_base = arr_a.addr(i * row_stride)
+            a_addrs = tuple(a_base + k * WORD_BYTES for k in range(n))
             for j in range(n):
-                acc = 0.0
+                # One conflict-free access vector per dot product: row i
+                # of A plus column j of B, charged as a single aggregate
+                # by the vectorized read_many once both operands are
+                # resident; the n multiply-accumulates are one aggregated
+                # compute and one numpy dot.
                 b_addr = arr_b.addr(j)
-                for k in range(n):
-                    a, b = yield from env.read_many(
-                        (a_base + k * WORD_BYTES, b_addr + k * b_stride)
-                    )
-                    acc += a * b
-                    yield from env.compute(params.compute_per_mac)
+                vals = yield from env.read_many(
+                    a_addrs + tuple(b_addr + k * b_stride for k in range(n))
+                )
+                yield from env.compute(n * params.compute_per_mac)
+                acc = float(np.dot(vals[:n], vals[n:]))
                 yield from env.write(arr_c.addr(i * row_stride + j), acc)
         yield from env.barrier()
 

@@ -149,9 +149,9 @@ def build(rt: Runtime, params: WaterParams):
                 cached = pos_cache.get(i)
                 if cached is not None:
                     return cached
-                p = np.empty(3)
-                for k in range(3):
-                    p[k] = yield from env.read(mol_addr(i, POS + k))
+                p = np.asarray(
+                    (yield from env.read_block(mol_addr(i, POS), 3))
+                )
                 pos_cache[i] = p
                 return p
 
@@ -177,10 +177,10 @@ def build(rt: Runtime, params: WaterParams):
                 items = items[start:] + items[:start]
             for j in items:
                 yield from env.lock(mol_locks[j])
-                for k in range(3):
-                    addr = mol_addr(j, FRC + k)
-                    current = yield from env.read(addr)
-                    yield from env.write(addr, current + local_force[j][k])
+                current = yield from env.read_block(mol_addr(j, FRC), 3)
+                yield from env.write_block(
+                    mol_addr(j, FRC), np.asarray(current) + local_force[j]
+                )
                 yield from env.unlock(mol_locks[j])
 
             if local_pe != 0.0:
@@ -198,15 +198,17 @@ def build(rt: Runtime, params: WaterParams):
             if env.pid == 0 and _it + 1 < params.iterations:
                 yield from env.write(stats.addr(0), 0.0)
             for i in mine:
-                for k in range(3):
-                    f = yield from env.read(mol_addr(i, FRC + k))
-                    v = yield from env.read(mol_addr(i, VEL + k))
-                    p = yield from env.read(mol_addr(i, POS + k))
-                    v += f * DT
-                    yield from env.compute(COMPUTE_PER_UPDATE // 3)
-                    yield from env.write(mol_addr(i, VEL + k), v)
-                    yield from env.write(mol_addr(i, POS + k), p + v * DT)
-                    yield from env.write(mol_addr(i, FRC + k), 0.0)
+                # One 9-word record read (pos, vel, force), one aggregated
+                # integration compute, one 9-word write-back with the
+                # forces zeroed for the next iteration.
+                rec = np.asarray(
+                    (yield from env.read_block(mol_addr(i, POS), 9))
+                )
+                p, v, f = rec[POS : POS + 3], rec[VEL : VEL + 3], rec[FRC:]
+                yield from env.compute(COMPUTE_PER_UPDATE)
+                v = v + f * DT
+                out = np.concatenate([p + v * DT, v, np.zeros(3)])
+                yield from env.write_block(mol_addr(i, POS), out)
             yield from env.barrier()
 
     rt.spawn_all(worker)

@@ -16,13 +16,33 @@ Job count resolution, lowest priority last:
 3. serial (1).
 
 ``jobs=0`` (or ``REPRO_JOBS=0``) means "all cores".  On a single-core
-machine ``parallel_map`` always runs in-process: forking buys nothing
-there and the committed perf baseline shows it strictly slower (0.178s
-parallel vs 0.150s serial for the smoke sweep).  The pool uses the
-``fork`` start method where available so workers inherit ``sys.path``
-and loaded modules; on platforms without ``fork`` the default start
-method is used and arguments travel by pickle (everything passed here —
-app parameter dataclasses, configs, result dataclasses — is picklable).
+machine ``parallel_map`` always runs in-process (with a one-line notice
+on stderr when that overrides an explicit multi-job request): forking
+buys nothing there and the committed perf baseline shows it strictly
+slower (0.178s parallel vs 0.150s serial for the smoke sweep).  The
+pool uses the ``fork`` start method where available so workers inherit
+``sys.path`` and loaded modules; on platforms without ``fork`` the
+default start method is used and arguments travel by pickle (everything
+passed here — app parameter dataclasses, configs, result dataclasses —
+is picklable).
+
+The pool is **persistent**: the first parallel call forks it, and every
+later call from the sweep engine, ``repro.bench.compare``, or the
+``repro.serve`` daemon reuses the same workers instead of paying a
+fork-and-import per sweep.  Two things keep reuse invisible to callers:
+
+* a call asking for fewer jobs than the pool has workers is *windowed*
+  — at most ``jobs`` futures are in flight at once, refilled in
+  longest-job-first order as results land, so concurrency (and thus
+  memory and CPU footprint) matches what the caller asked for;
+* workers forked long ago would hold a stale environment, so each job
+  ships a snapshot of the caller's current ``REPRO_*`` variables and
+  the worker applies it before running — toggles such as
+  ``REPRO_NO_FASTPATH``/``REPRO_NO_REPLAY`` behave exactly as if the
+  worker were forked at call time.
+
+``shutdown_pool`` tears the workers down (registered with ``atexit``;
+tests use it to force a fresh pool).
 
 When the caller knows roughly how long each item takes (the run cache
 records wall time per point), ``priorities=`` schedules
@@ -34,14 +54,22 @@ long.
 
 from __future__ import annotations
 
+import atexit
 import math
 import multiprocessing as mp
 import os
+import sys
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, Sequence
 
-__all__ = ["resolve_jobs", "parallel_map", "run_figures", "submission_order"]
+__all__ = [
+    "resolve_jobs",
+    "parallel_map",
+    "run_figures",
+    "submission_order",
+    "shutdown_pool",
+]
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -92,6 +120,72 @@ def submission_order(
 _submission_order = submission_order
 
 
+# ---------------------------------------------------------------------------
+# Persistent worker pool
+# ---------------------------------------------------------------------------
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+_WARNED_SINGLE_CPU = False
+
+#: environment variables shipped to (long-lived) workers per job
+_ENV_PREFIX = "REPRO_"
+
+
+def _env_snapshot() -> tuple[tuple[str, str], ...]:
+    return tuple(
+        sorted(
+            (k, v)
+            for k, v in os.environ.items()
+            if k.startswith(_ENV_PREFIX)
+        )
+    )
+
+
+def _run_job(env: tuple[tuple[str, str], ...], fn, args):
+    """Worker-side trampoline: sync ``REPRO_*`` env, then run the job.
+
+    Workers are forked once and reused, so the environment they
+    inherited may predate the caller's current toggles; each job carries
+    the caller's snapshot and this applies it (adds, updates, *and*
+    removals) before dispatch.
+    """
+    want = dict(env)
+    for k in [k for k in os.environ if k.startswith(_ENV_PREFIX)]:
+        if k not in want:
+            del os.environ[k]
+    os.environ.update(want)
+    return fn(*args)
+
+
+def _executor(workers: int) -> ProcessPoolExecutor:
+    """The shared pool, growing (never shrinking) to ``workers``."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS < workers:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+    if _POOL is None:
+        if "fork" in mp.get_all_start_methods():
+            ctx = mp.get_context("fork")
+        else:  # pragma: no cover - platform-dependent
+            ctx = mp.get_context()
+        _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent pool (idempotent; re-forks on next use)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
 def parallel_map(
     fn: Callable[..., Any],
     arg_tuples: Sequence[tuple],
@@ -111,15 +205,60 @@ def parallel_map(
     order = submission_order(len(items), priorities)
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(items) <= 1 or (os.cpu_count() or 1) <= 1:
+        global _WARNED_SINGLE_CPU
+        if (
+            jobs > 1
+            and len(items) > 1
+            and (os.cpu_count() or 1) <= 1
+            and not _WARNED_SINGLE_CPU
+        ):
+            _WARNED_SINGLE_CPU = True
+            print(
+                f"repro.bench.parallel: single-CPU machine, running the "
+                f"jobs={jobs} sweep in-process (serial)",
+                file=sys.stderr,
+            )
         return [fn(*args) for args in items]
-    if "fork" in mp.get_all_start_methods():
-        ctx = mp.get_context("fork")
-    else:  # pragma: no cover - platform-dependent
-        ctx = mp.get_context()
     workers = min(jobs, len(items))
-    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-        futures = {i: pool.submit(fn, *items[i]) for i in order}
-        return [futures[i].result() for i in range(len(items))]
+    pool = _executor(workers)
+    env = _env_snapshot()
+    # Windowed submission: the persistent pool may have more workers
+    # than this call's job count, so cap in-flight futures at `workers`
+    # and refill in longest-job-first order as results land.  Results
+    # are stored by input index, and errors are re-raised by lowest
+    # input index after the window drains — exactly the serial/one-shot
+    # pool behavior.
+    pending = iter(order)
+    inflight: dict[Any, int] = {}
+    results: list[Any] = [None] * len(items)
+    errors: dict[int, BaseException] = {}
+
+    def refill() -> None:
+        for i in pending:
+            inflight[pool.submit(_run_job, env, fn, items[i])] = i
+            return
+
+    try:
+        for _ in range(min(workers, len(items))):
+            refill()
+        while inflight:
+            done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+            for fut in done:
+                i = inflight.pop(fut)
+                exc = fut.exception()
+                if exc is not None:
+                    errors[i] = exc
+                else:
+                    results[i] = fut.result()
+                refill()
+    except BaseException:
+        # A dead worker (or interrupt) leaves the executor unusable;
+        # discard it so the next call forks a fresh one.
+        shutdown_pool()
+        raise
+    if errors:
+        raise errors[min(errors)]
+    return results
 
 
 def _figure_job(key: str, total_processors: int, network, protocol=None):

@@ -2,8 +2,13 @@
 
 Runs a small fixed workload set, reports wall-clock and events/sec, and
 writes ``BENCH_perfsmoke.json``.  CI replays it against the committed
-baseline and fails if throughput regresses by more than 30% — the repo's
-"as fast as the hardware allows" north star, made enforceable.
+baseline and fails on regression — the repo's "as fast as the hardware
+allows" north star, made enforceable.  Each gated benchmark carries its
+own tolerance (see ``GATES``): the hit-path microbenchmark is tight,
+the end-to-end protocol workloads get the slack their wall-clock noise
+needs, and the replay speedup is gated as a ratio so a cached-sweep
+outlier can never mask a fast-path regression (every gate is checked
+independently).
 
 Usage::
 
@@ -30,6 +35,10 @@ Workloads:
   must serve every point from cache (hits == points, zero misses), a
   verify pass must reproduce every cached result bit-for-bit, and the
   report records the cold/warm wall-clock plus hit/miss/byte counters.
+* ``figure_replay`` — the repeated-phase sweep (``repro.apps.scanphase``)
+  with phase replay on and off: the closed-form path must produce the
+  identical simulated time and event count, and ``speedup_replay`` is
+  the headline number for the replay engine.
 
 Every run cross-checks fast-vs-slow cycle counts, so the perf smoke is
 also a determinism smoke.
@@ -46,20 +55,30 @@ import sys
 import tempfile
 import time
 
-from repro.apps import jacobi
+from repro.apps import jacobi, scanphase
 from repro.bench.cache import RunCache
 from repro.bench.sweep import run_sweep
 from repro.metrics.export import run_cache_to_dict
 from repro.params import MachineConfig
 from repro.runtime import Runtime
 
-__all__ = ["run_perfsmoke", "check_against_baseline", "main"]
+__all__ = ["run_perfsmoke", "check_against_baseline", "main", "GATES"]
 
 #: bump when workloads change incompatibly (baselines stop comparing)
-SCHEMA = 2
+SCHEMA = 3
 
-#: CI fails when events/sec drops below baseline * (1 - TOLERANCE)
-TOLERANCE = 0.30
+#: Per-benchmark regression gates: benchmark -> (metric, tolerance).
+#: CI fails when a gated metric drops below ``baseline * (1 - tol)``.
+#: The in-process microbenchmark is stable enough for a tight gate; the
+#: protocol-bound end-to-end runs jitter more on shared CI hardware;
+#: the replay gate is a wall-clock *ratio* (on/off in one process), so
+#: machine speed cancels out and it can be tight again.
+GATES: dict[str, tuple[str, float]] = {
+    "hit_block_fast": ("words_per_sec", 0.30),
+    "jacobi_fast": ("events_per_sec", 0.35),
+    "swdsm_jacobi_fast": ("events_per_sec", 0.35),
+    "figure_replay": ("speedup_replay", 0.25),
+}
 
 
 def _hit_block_runtime(fastpath: bool, nwords: int, passes: int) -> Runtime:
@@ -95,18 +114,30 @@ def _bench_hit_block(fastpath: bool, nwords: int, passes: int) -> dict:
 
 
 def _bench_jacobi(
-    fastpath: bool, n: int, iterations: int, protocol: str = "mgs"
+    fastpath: bool,
+    n: int,
+    iterations: int,
+    protocol: str = "mgs",
+    reps: int = 1,
 ) -> dict:
     config = MachineConfig(
         total_processors=32, cluster_size=8, protocol=protocol
     )
     params = jacobi.JacobiParams(n=n, iterations=iterations)
-    rt = jacobi.make_runtime(config, fastpath=fastpath)
-    final = jacobi.build(rt, params)
-    t0 = time.perf_counter()
-    result = rt.run()
-    seconds = time.perf_counter() - t0
-    del final
+    # Best-of-reps wall clock: every rep is deterministic (identical
+    # events and cycle counts), so the minimum is the run least
+    # disturbed by the host — the standard noise estimator for timing
+    # on shared hardware.
+    seconds = None
+    for _ in range(reps):
+        rt = jacobi.make_runtime(config, fastpath=fastpath)
+        final = jacobi.build(rt, params)
+        t0 = time.perf_counter()
+        result = rt.run()
+        elapsed = time.perf_counter() - t0
+        del final
+        if seconds is None or elapsed < seconds:
+            seconds = elapsed
     return {
         "seconds": round(seconds, 4),
         "events": rt.sim.events_processed,
@@ -180,12 +211,59 @@ def _bench_cached_sweep(n: int, iterations: int) -> dict:
     }
 
 
+def _bench_figure_replay(phases: int, reps: int = 1) -> dict:
+    """Repeated-phase sweep with replay on vs off (same simulated run)."""
+    config = MachineConfig(total_processors=8, cluster_size=2)
+    params = scanphase.ScanPhaseParams(phases=phases)
+
+    def one(replay: bool) -> dict:
+        # Best-of-reps, as in _bench_jacobi: the replay-on run is short
+        # enough that a single scheduling hiccup would swing the gated
+        # on/off ratio.
+        seconds = None
+        for _ in range(reps):
+            rt = scanphase.make_runtime(config, replay=replay)
+            scanphase.build(rt, params)
+            t0 = time.perf_counter()
+            result = rt.run()
+            elapsed = time.perf_counter() - t0
+            if seconds is None or elapsed < seconds:
+                seconds = elapsed
+        recorder = rt.phase_recorder
+        return {
+            "seconds": round(seconds, 4),
+            "events": rt.sim.events_processed,
+            "events_per_sec": round(rt.sim.events_processed / seconds),
+            "total_time": result.total_time,
+            "phases_replayed": recorder.replayed if recorder else 0,
+        }
+
+    # Warm the interpreter/numpy paths so the ratio measures the
+    # simulator, not first-call overheads.
+    scanphase.run(config, scanphase.ScanPhaseParams(phases=4))
+    off = one(False)
+    on = one(True)
+    if (on["total_time"], on["events"]) != (off["total_time"], off["events"]):
+        raise AssertionError("phase replay diverged from execution (scanphase)")
+    return {
+        "phases": params.phases,
+        "replay": on,
+        "noreplay": off,
+        "speedup_replay": round(off["seconds"] / on["seconds"], 2),
+    }
+
+
 def run_perfsmoke(quick: bool = False) -> dict:
     """Measure the workload set and return the report dict."""
     if quick:
-        nwords, passes, jn, jit = 2048, 8, 32, 3
+        nwords, passes, jn, jit, phases = 2048, 8, 32, 3, 16
+        jreps = 1
     else:
-        nwords, passes, jn, jit = 4096, 30, 64, 10
+        # Jacobi at n=256 keeps enough interior (all-hit) rows per
+        # boundary row for the batched fast paths to show their real
+        # gain; n=64 at 32 processors is boundary rows only.
+        nwords, passes, jn, jit, phases = 4096, 30, 256, 3, 32
+        jreps = 5
 
     hit_fast = _bench_hit_block(True, nwords, passes)
     hit_slow = _bench_hit_block(False, nwords, passes)
@@ -195,13 +273,13 @@ def run_perfsmoke(quick: bool = False) -> dict:
     ):
         raise AssertionError("fastpath diverged from slow path (hit_block)")
 
-    jac_fast = _bench_jacobi(True, jn, jit)
-    jac_slow = _bench_jacobi(False, jn, jit)
+    jac_fast = _bench_jacobi(True, jn, jit, reps=jreps)
+    jac_slow = _bench_jacobi(False, jn, jit, reps=jreps)
     if jac_fast["total_time"] != jac_slow["total_time"]:
         raise AssertionError("fastpath diverged from slow path (jacobi)")
 
-    sw_fast = _bench_jacobi(True, jn, jit, protocol="swdsm")
-    sw_slow = _bench_jacobi(False, jn, jit, protocol="swdsm")
+    sw_fast = _bench_jacobi(True, jn, jit, protocol="swdsm", reps=jreps)
+    sw_slow = _bench_jacobi(False, jn, jit, protocol="swdsm", reps=jreps)
     if sw_fast["total_time"] != sw_slow["total_time"]:
         raise AssertionError(
             "fastpath diverged from slow path (swdsm_jacobi)"
@@ -209,6 +287,7 @@ def run_perfsmoke(quick: bool = False) -> dict:
 
     sweep = _bench_sweep(32, 3)
     cached = _bench_cached_sweep(32, 3)
+    replay = _bench_figure_replay(phases, reps=jreps)
 
     return {
         "schema": SCHEMA,
@@ -216,6 +295,10 @@ def run_perfsmoke(quick: bool = False) -> dict:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "gates": {
+            bench: {"metric": metric, "tolerance": tol}
+            for bench, (metric, tol) in GATES.items()
+        },
         "benchmarks": {
             "hit_block_fast": hit_fast,
             "hit_block_slow": hit_slow,
@@ -225,6 +308,7 @@ def run_perfsmoke(quick: bool = False) -> dict:
             "swdsm_jacobi_slow": sw_slow,
             "sweep": sweep,
             "sweep_cached": cached,
+            "figure_replay": replay,
         },
         "speedups": {
             "hit_block_fastpath": round(
@@ -237,20 +321,18 @@ def run_perfsmoke(quick: bool = False) -> dict:
                 sw_slow["seconds"] / sw_fast["seconds"], 2
             ),
             "warm_cache": cached["speedup_warm"],
+            "figure_replay": replay["speedup_replay"],
         },
     }
 
 
-#: (benchmark, throughput metric) pairs the baseline check gates on
-_GATED = [
-    ("hit_block_fast", "words_per_sec"),
-    ("jacobi_fast", "events_per_sec"),
-    ("swdsm_jacobi_fast", "events_per_sec"),
-]
-
-
 def check_against_baseline(report: dict, baseline: dict) -> list[str]:
-    """Regressions >30% vs the baseline; empty list means pass."""
+    """Per-benchmark regressions vs the baseline; empty list means pass.
+
+    Every entry of :data:`GATES` is checked independently against its own
+    tolerance — all failures are reported, so one benchmark's outlier
+    never hides another benchmark's regression.
+    """
     failures = []
     if baseline.get("schema") != report.get("schema"):
         return [
@@ -262,16 +344,16 @@ def check_against_baseline(report: dict, baseline: dict) -> list[str]:
             "baseline and report use different workload sizes "
             "(--quick mismatch); throughput is not comparable"
         ]
-    for bench, metric in _GATED:
+    for bench, (metric, tolerance) in GATES.items():
         old = baseline.get("benchmarks", {}).get(bench, {}).get(metric)
         new = report.get("benchmarks", {}).get(bench, {}).get(metric)
         if not old or not new:
             continue
-        floor = old * (1.0 - TOLERANCE)
+        floor = old * (1.0 - tolerance)
         if new < floor:
             failures.append(
-                f"{bench}.{metric} regressed: {new} < {floor:.0f} "
-                f"(baseline {old}, tolerance {TOLERANCE:.0%})"
+                f"{bench}.{metric} regressed: {new} < {floor:.2f} "
+                f"(baseline {old}, tolerance {tolerance:.0%})"
             )
     return failures
 
@@ -293,7 +375,8 @@ def main(argv: list[str] | None = None) -> int:
         "--check",
         default=None,
         metavar="BASELINE",
-        help="compare against a baseline report; exit 1 on >30%% regression",
+        help="compare against a baseline report; exit 1 when any "
+        "per-benchmark gate regresses (see GATES)",
     )
     args = parser.parse_args(argv)
 
@@ -332,6 +415,14 @@ def main(argv: list[str] | None = None) -> int:
         f"   speedup {report['speedups']['warm_cache']}x"
         f"   ({b['sweep_cached']['cache_warm']['hits']}/"
         f"{b['sweep_cached']['points']} hits, verified)"
+    )
+    fr = b["figure_replay"]
+    print(
+        f"  figure_replay on {fr['replay']['seconds']:.3f}s"
+        f"   off {fr['noreplay']['seconds']:.3f}s"
+        f"   speedup {fr['speedup_replay']}x"
+        f"   ({fr['replay']['phases_replayed']}/{fr['phases']} phases"
+        " replayed, identical)"
     )
     print(f"  report -> {args.out}")
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.apps import ALL_APPS
+from repro.apps import ALL_APPS, SYNTHETIC_APPS
 from repro.bench.figures import bench_params
 from repro.bench.report import render_table
 from repro.params import MachineConfig
@@ -54,6 +54,8 @@ def run_table4() -> list[Table4Row]:
     """Measure Seq and S32 for every application."""
     rows = []
     for app, module in ALL_APPS.items():
+        if app in SYNTHETIC_APPS:
+            continue  # ours, not the paper's — Table 4 is paper-only
         params = bench_params(app)
         seq_config = MachineConfig(total_processors=1, cluster_size=1)
         seq = module.run(seq_config, params).require_valid()

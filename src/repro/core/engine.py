@@ -122,6 +122,15 @@ class Protocol:
     #: runtime then calls :meth:`acquire` at lock acquisition and
     #: barrier departure
     needs_acquire: ClassVar[bool] = False
+    #: adaptive burst-cache bypass profile (see ``repro.runtime.env``):
+    #: how many execution bursts the access engine samples before
+    #: deciding whether its burst caches pay off, and the average hits
+    #: per burst below which it rebinds to the plain slow paths.  All-
+    #: software engines (swdsm) override these: their miss services are
+    #: so much more expensive that the sampling window itself is a cost,
+    #: so they decide earlier and demand more.
+    fp_sample_bursts: ClassVar[int] = 32
+    fp_bypass_hits_per_burst: ClassVar[int] = 2
 
     def __init__(
         self,
@@ -215,6 +224,93 @@ class Protocol:
                 f"engine {self.name!r} declares labels with no handler: "
                 f"{missing}"
             )
+
+    # ------------------------------------------------------------------
+    # phase-replay surface (see repro.runtime.replay)
+    # ------------------------------------------------------------------
+
+    def phase_state(self):
+        """Digestible summary of every behavior-bearing engine state.
+
+        The phase-replay engine hashes this (together with the runtime's
+        own state: TLBs, hardware directory, locks, barrier, handler
+        occupancy) at every phase boundary; a repeated digest whose
+        recorded phase left the digest unchanged is applied in closed
+        form instead of re-executed.  The contract:
+
+        * include everything that can influence *future* timing or data
+          — frame/home metadata, page contents, per-processor queues;
+        * exclude pure statistics (event counters, latency logs): those
+          are carried by the recorded delta, and a monotone counter in
+          the digest would make every phase look unique;
+        * clock-like values must be encoded relative to the phase base
+          time (the replay is a time translation).
+
+        Returning ``None`` (the default) disables replay for the engine.
+        """
+        return None
+
+    def phase_stat_cells(self) -> list[tuple[object, str]]:
+        """Engine-private integer stat counters the replay delta must
+        carry, as ``(obj, attr)`` pairs.  :class:`ProtocolStats` and
+        ``page_stats`` are handled generically; engines add counters
+        living on their own sub-objects (e.g. MGS's per-DUQ counters).
+        """
+        return []
+
+    def _phase_frames_state(self, frames: list[dict]) -> tuple:
+        """Digest helper: one entry per live :class:`PageFrame`."""
+        from repro.runtime.replay import array_digest
+
+        out = []
+        for d in frames:
+            out.append(
+                tuple(
+                    (
+                        vpn,
+                        f.state.value,
+                        f.owner_pid,
+                        None if f.data is None else array_digest(f.data),
+                        None if f.twin is None else array_digest(f.twin),
+                        tuple(sorted(f.tlb_dir)),
+                        f.lock_held,
+                        len(f.waiters),
+                        len(f.queued_invals),
+                        f.pinv_count,
+                        f.inval_kind,
+                        f.inval_txn != -1,
+                        f.aliases_home,
+                        f.post_snapshot_writes,
+                    )
+                    for vpn, f in d.items()
+                )
+            )
+        return tuple(out)
+
+    def _phase_homes_state(self) -> tuple:
+        """Digest helper: one entry per instantiated :class:`HomePage`."""
+        from repro.runtime.replay import array_digest
+
+        return tuple(
+            (
+                vpn,
+                h.state.value,
+                h.home_pid,
+                tuple(sorted(h.read_dir)),
+                tuple(sorted(h.write_dir)),
+                h.count,
+                len(h.rl),
+                len(h.rd),
+                len(h.wr),
+                h.round_txn != -1,
+                tuple(h.pending_wnotify),
+                len(h.pending_rels),
+                h.single_writer,
+                h.round_foreign_diff,
+                array_digest(h.data),
+            )
+            for vpn, h in self.homes.items()
+        )
 
     # ------------------------------------------------------------------
     # per-engine configuration validation

@@ -61,20 +61,37 @@ class AccessClass(enum.Enum):
 
 
 #: definition-order view of the classes; slot ``i`` of the fixed counters
-#: counts ``_CLASSES[i]`` accesses
+#: counts ``_CLASSES[i]`` accesses.  The classifier works in these int
+#: indices throughout — no enum hashing on the per-access hot path.
 _CLASSES = tuple(AccessClass)
 _IDX = {klass: i for i, klass in enumerate(_CLASSES)}
 _HIT = _IDX[AccessClass.HIT]
+_LOCAL = _IDX[AccessClass.LOCAL]
+_REMOTE = _IDX[AccessClass.REMOTE]
+_TWO_PARTY = _IDX[AccessClass.TWO_PARTY]
+_THREE_PARTY = _IDX[AccessClass.THREE_PARTY]
+_SOFTWARE = _IDX[AccessClass.SOFTWARE]
 
 
 class CacheSystem:
     """Per-cluster line directories with Table 3 cost classification."""
 
-    __slots__ = ("config", "costs", "_lines", "_counts", "_cost_of", "hit_cost")
+    __slots__ = (
+        "config",
+        "costs",
+        "_lines",
+        "_counts",
+        "_cost_of",
+        "_hw_ptrs",
+        "hit_cost",
+        "worst_miss",
+        "worst_hw_miss",
+    )
 
     def __init__(self, config: MachineConfig, costs: CostModel) -> None:
         self.config = config
         self.costs = costs
+        self._hw_ptrs = config.hw_dir_pointers
         # One directory per cluster: line id -> [owner_pid or -1, sharer set]
         self._lines: list[dict[int, list]] = [
             {} for _ in range(config.num_clusters)
@@ -91,6 +108,14 @@ class CacheSystem:
         #: cost of a hit, exposed so the runtime fast path can charge it
         #: without a method call
         self.hit_cost = costs.cache_hit
+        #: most expensive miss class overall, and the most expensive
+        #: *hardware* class (software servicing needs a sharer set that
+        #: already outgrew the hardware pointers, so any other line is
+        #: bounded by the hardware classes).  access_run admits lines
+        #: under the per-line tight bound; the runtime fast path reads
+        #: ``worst_hw_miss`` to skip hopeless batch attempts.
+        self.worst_miss = max(self._cost_of[1:])
+        self.worst_hw_miss = max(self._cost_of[1:_SOFTWARE])
 
     @property
     def stats(self) -> Counter:
@@ -133,6 +158,101 @@ class CacheSystem:
                 n += 1
         return n
 
+    def hit_lines(
+        self, cluster: int, pid: int, lines, is_write: bool
+    ) -> bool:
+        """Whether *every* line in ``lines`` is a guaranteed hit for ``pid``.
+
+        The vector-probe companion to :meth:`hit_run`: same read-only
+        hit criterion (sufficient privilege, so an ``access`` would make
+        no directory update), applied to an arbitrary iterable of line
+        ids instead of a consecutive run.  The runtime's vectorized
+        ``read_many`` uses it to prove a whole scatter/gather access
+        vector conflict-free before charging it in one aggregate; the
+        caller accounts the hits itself (via :meth:`record_hits`).
+        """
+        get = self._lines[cluster].get
+        if is_write:
+            for line in lines:
+                state = get(line)
+                if state is None or state[0] != pid:
+                    return False
+        else:
+            for line in lines:
+                state = get(line)
+                if state is None:
+                    return False
+                owner = state[0]
+                if owner != pid and (owner != -1 or pid not in state[1]):
+                    return False
+        return True
+
+    def access_run(
+        self,
+        cluster: int,
+        pid: int,
+        first_line: int,
+        is_write: bool,
+        home_pid: int,
+        extras: list[int],
+        budget: int,
+    ) -> tuple[int, int]:
+        """Classify-and-update a run of consecutive *missing* lines.
+
+        Batched companion to :meth:`access` for the runtime's block fast
+        paths: starting at ``first_line``, lines are serviced with
+        exactly the per-line state transitions, class counts, and costs
+        that individual ``access`` calls would apply, while (a) the line
+        would not be a hit and (b) the accumulated charge stays within
+        ``budget``.  ``extras[i]`` is the caller's non-miss charge
+        riding on line ``first_line + i`` (address translation plus the
+        line's remaining hit words); a line is admitted only when its
+        worst-case miss cost plus its extra keeps the running total
+        within budget, so the caller can prove no quantum pause falls
+        inside the batch.  The bound is per line and tight: software
+        servicing is only possible when the line's sharer set has
+        already outgrown the hardware directory pointers, so every
+        other line is bounded by the worst *hardware* miss.  (The bound
+        may still stop the run a little early near the quantum edge;
+        the caller's per-word path then takes over with identical
+        semantics, so the cut is a wall-clock detail, never a behavior
+        change.)
+
+        Returns ``(lines_processed, total_charge)``, the charge
+        including the extras of the processed lines.
+        """
+        directory = self._lines[cluster]
+        get = directory.get
+        counts = self._counts
+        cost_of = self._cost_of
+        classify = self._classify_and_update
+        worst_hw = self.worst_hw_miss
+        soft = cost_of[_SOFTWARE]
+        hw_ptrs = self._hw_ptrs
+        total = 0
+        k = 0
+        for extra in extras:
+            line = first_line + k
+            state = get(line)
+            if state is not None:
+                owner = state[0]
+                if (
+                    owner == pid
+                    if is_write
+                    else owner == pid or (owner == -1 and pid in state[1])
+                ):
+                    break  # guaranteed hit: the caller's hit-run takes over
+                bound = soft if len(state[1]) > hw_ptrs else worst_hw
+            else:
+                bound = worst_hw
+            if total + bound + extra > budget:
+                break
+            i = classify(directory, state, pid, line, is_write, home_pid)
+            counts[i] += 1
+            total += cost_of[i] + extra
+            k += 1
+        return k, total
+
     def record_hits(self, n: int) -> None:
         """Account ``n`` hits classified outside the directory.
 
@@ -168,11 +288,11 @@ class CacheSystem:
             ):
                 self._counts[_HIT] += 1
                 return self.hit_cost
-        klass = self._classify_and_update(
+        i = self._classify_and_update(
             directory, state, pid, line, is_write, home_pid
         )
-        self._counts[_IDX[klass]] += 1
-        return self._cost_of[_IDX[klass]]
+        self._counts[i] += 1
+        return self._cost_of[i]
 
     def _classify_and_update(
         self,
@@ -182,7 +302,7 @@ class CacheSystem:
         line: int,
         is_write: bool,
         home_pid: int,
-    ) -> AccessClass:
+    ) -> int:
         if state is None:
             state = [-1, set()]
             directory[line] = state
@@ -190,45 +310,60 @@ class CacheSystem:
 
         if is_write:
             if owner == pid:
-                return AccessClass.HIT
-            others = sharers - {pid}
+                return _HIT
             if owner != -1:
-                # Dirty in another cache: fetch-exclusive, owner writes back.
-                klass = self._party_class(pid, home_pid, owner)
-            elif len(sharers) > self.config.hw_dir_pointers:
-                klass = AccessClass.SOFTWARE
-            elif not others:
+                # Dirty in another cache: fetch-exclusive, owner writes
+                # back.  The issuer and owner differ here (same-owner
+                # writes returned HIT above), so the transaction stays
+                # 2-party exactly when the home node is one of them.
                 klass = (
-                    AccessClass.LOCAL if home_pid == pid else AccessClass.REMOTE
+                    _TWO_PARTY
+                    if home_pid == pid or home_pid == owner
+                    else _THREE_PARTY
                 )
+            elif len(sharers) > self._hw_ptrs:
+                klass = _SOFTWARE
             else:
-                # Invalidate shared copies; cost scales with parties involved.
-                third = min(others)
-                klass = self._party_class(pid, home_pid, third)
-                if len(others) > 1:
-                    klass = AccessClass.THREE_PARTY
+                # Invalidate shared copies; cost scales with parties
+                # involved.  Count sharers other than the issuer without
+                # materializing the difference set — this runs on every
+                # upgrade write.
+                in_set = pid in sharers
+                nothers = len(sharers) - in_set
+                if nothers == 0:
+                    klass = _LOCAL if home_pid == pid else _REMOTE
+                elif nothers > 1 or home_pid == pid:
+                    # >1 invalidation targets is always 3-party; a
+                    # single target with the issuer at home is 2-party.
+                    klass = _THREE_PARTY if nothers > 1 else _TWO_PARTY
+                else:
+                    third = min(sharers - {pid}) if in_set else min(sharers)
+                    klass = (
+                        _TWO_PARTY if home_pid == third else _THREE_PARTY
+                    )
             state[0] = pid
             state[1] = set()
             return klass
 
         # Load.
         if owner == pid or (owner == -1 and pid in sharers):
-            return AccessClass.HIT
+            return _HIT
         if owner != -1:
-            klass = self._party_class(pid, home_pid, owner)
+            # Issuer and owner differ (same-owner loads are hits), so
+            # 2-party exactly when the home node is one of them.
+            klass = (
+                _TWO_PARTY
+                if home_pid == pid or home_pid == owner
+                else _THREE_PARTY
+            )
             state[1] = {pid, owner}
             state[0] = -1
             return klass
-        if len(sharers) > self.config.hw_dir_pointers:
+        if len(sharers) > self._hw_ptrs:
             sharers.add(pid)
-            return AccessClass.SOFTWARE
+            return _SOFTWARE
         sharers.add(pid)
-        return AccessClass.LOCAL if home_pid == pid else AccessClass.REMOTE
-
-    @staticmethod
-    def _party_class(pid: int, home_pid: int, other: int) -> AccessClass:
-        parties = len({pid, home_pid, other})
-        return AccessClass.TWO_PARTY if parties <= 2 else AccessClass.THREE_PARTY
+        return _LOCAL if home_pid == pid else _REMOTE
 
     def flush_page(self, cluster: int, first_line: int, nlines: int) -> int:
         """Drop all line state of a page in ``cluster`` (page cleaning).

@@ -127,6 +127,31 @@ class GCSProtocol(Protocol):
 
         return GCSArcRules(sanitizer)
 
+    def phase_state(self):
+        # Versions are monotone (the home bumps one per applied diff);
+        # behavior only ever compares a replica's fversion against the
+        # home version, so the digest encodes the *staleness gap* per
+        # (cluster, page).  A phase that bumps versions but restores all
+        # gaps is still state-idempotent — and replay, which advances
+        # neither dict, leaves every future comparison unchanged.
+        gaps = []
+        for fv in self.fversions:
+            vpns = sorted(set(self.versions) | set(fv))
+            gaps.append(
+                tuple(
+                    (vpn, self.versions.get(vpn, 0) - fv.get(vpn, 0))
+                    for vpn in vpns
+                )
+            )
+        return (
+            self._phase_frames_state(self.frames),
+            self._phase_homes_state(),
+            tuple(tuple(d) for d in self.dirty),
+            tuple(gaps),
+            tuple(sorted((k, len(v)) for k, v in self._refreshing.items())),
+            tuple(sorted(self._drain)),
+        )
+
     def page_view(self, vpn: int):
         """Coherent contents: the home copy plus any unflushed diffs.
 

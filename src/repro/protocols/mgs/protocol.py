@@ -109,6 +109,21 @@ class MGSProtocol(Protocol):
     def validate_config(cls, config: MachineConfig) -> None:
         """MGS implements every :class:`ProtocolOptions` knob."""
 
+    def phase_state(self):
+        return (
+            self._phase_frames_state(self.frames),
+            self._phase_homes_state(),
+            tuple(tuple(duq.vpns()) for duq in self.duqs),
+            tuple(tuple(sorted(s)) for s in self.stolen),
+        )
+
+    def phase_stat_cells(self) -> list[tuple[object, str]]:
+        cells: list[tuple[object, str]] = []
+        for duq in self.duqs:
+            cells.append((duq, "enqueues"))
+            cells.append((duq, "early_removals"))
+        return cells
+
     # ------------------------------------------------------------------
     # state accessors
     # ------------------------------------------------------------------

@@ -108,6 +108,18 @@ class SCPagesProtocol(Protocol):
 
         return SCPagesArcRules(sanitizer)
 
+    def phase_state(self):
+        return (
+            self._phase_frames_state(self.frames),
+            self._phase_homes_state(),
+            tuple(
+                sorted(
+                    (vpn, type(msg).__name__) for vpn, msg in self.pending.items()
+                )
+            ),
+            tuple(sorted(self.streaks.items())),
+        )
+
     def release(self, pid: int, on_done: Callable[[], None]) -> None:
         """SC needs no release-point work: writes were ordered eagerly."""
         txn = self.bus.begin("release", pid)

@@ -76,6 +76,13 @@ class SWDSMProtocol(Protocol):
     """All-software single-grain page DSM (one DSM node per processor)."""
 
     name = "swdsm"
+    # Every miss is a software round here, so execution bursts are short
+    # and burst-cache reuse is rare: sample a third of the window MGS
+    # uses and demand more reuse before keeping the caches (the
+    # ``swdsm_jacobi_fastpath`` perfsmoke regression came from paying
+    # the full MGS-sized sampling window on every Env).
+    fp_sample_bursts = 12
+    fp_bypass_hits_per_burst = 3
 
     def __init__(
         self,
@@ -112,6 +119,14 @@ class SWDSMProtocol(Protocol):
 
     def frames_view(self, pid: int) -> dict[int, PageFrame]:
         return self.frames[pid]
+
+    def phase_state(self):
+        return (
+            self._phase_frames_state(self.frames),
+            self._phase_homes_state(),
+            tuple(tuple(d) for d in self.dirty),
+            tuple(tuple(sorted(s)) for s in self.stolen),
+        )
 
     def arc_rules(self, sanitizer):
         from repro.protocols.swdsm.arcs import SWDSMArcRules

@@ -61,19 +61,38 @@ per-point compute against a 1500-cycle quantum means nearly every
 access burst is a handful of words — spend more maintaining the caches
 than they save (the 0.89x regression BENCH_perfsmoke.json used to
 record).  Each ``Env`` therefore *samples* its own burst-cache hit rate
-over the first :data:`_FP_SAMPLE_BURSTS` bursts and, when the observed
-hits per burst fall below :data:`_FP_BYPASS_HITS_PER_BURST`, rebinds
-its memory operations to the plain slow paths for the rest of the run.
-Both engines are cycle-identical, and the decision depends only on
-deterministic simulation state, so results are bit-for-bit unchanged
-either way; only the wall-clock moves.  The bypass is disabled while
-the race detector has the access methods instrumented (rebinding would
-drop its recording wrappers).
+over the engine's first ``fp_sample_bursts`` bursts and, when the
+observed hits per burst fall below ``fp_bypass_hits_per_burst``,
+rebinds its memory operations to the plain slow paths for the rest of
+the run.  The thresholds are per-engine class attributes on
+:class:`~repro.core.engine.Protocol`: an all-software engine like swdsm
+turns nearly every fault into a long software round, so its bursts are
+shorter, reuse is rarer, and the sampling window itself is a cost — it
+decides after a third of the bursts MGS samples and demands more reuse
+before keeping the caches.  Both engines are cycle-identical, and the
+decision depends only on deterministic simulation state, so results are
+bit-for-bit unchanged either way; only the wall-clock moves.  The
+bypass is disabled while the race detector has the access methods
+instrumented (rebinding would drop its recording wrappers).
+
+Vectorized batches
+------------------
+
+``read_many`` additionally proves whole conflict-free access vectors
+hit-only up front — every page already mapped, every line a guaranteed
+hit (:meth:`CacheSystem.hit_lines`), the whole charge inside the
+quantum — and then charges them as one numpy aggregate: one statistics
+update, one clock bump, one fancy-indexed gather per touched page,
+zero per-word Python.  Any failed precondition falls back to the
+per-word loop before a single cycle is charged, so the vector path is
+observation-equivalent by construction.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
 
 from repro.params import WORD_BYTES
 from repro.svm import MapMode
@@ -85,10 +104,8 @@ if TYPE_CHECKING:
 
 __all__ = ["Env"]
 
-#: bursts sampled before deciding whether the fast-path caches pay off
-_FP_SAMPLE_BURSTS = 32
-#: below this average of burst-cache hits per burst, bypass to slow paths
-_FP_BYPASS_HITS_PER_BURST = 2
+#: below this many addresses, the per-word loop beats the vector setup
+_VEC_MIN_ADDRS = 8
 
 
 class Env:
@@ -127,6 +144,8 @@ class Env:
         "_fp_hits",
         "_fp_bursts",
         "_fp_adaptive",
+        "_fp_sample_bursts",
+        "_fp_bypass_threshold",
         # per-instance bindings (fast or slow implementation)
         "read",
         "write",
@@ -160,10 +179,13 @@ class Env:
         # Hardware cache lines known to hit for reads / for writes.
         self._fp_rlines: set[int] = set()
         self._fp_wlines: set[int] = set()
-        # Adaptive-bypass sampling state (see module docstring).
+        # Adaptive-bypass sampling state (see module docstring); the
+        # window and threshold are per-engine class attributes.
         self._fp_hits = 0
         self._fp_bursts = 0
         self._fp_adaptive = runtime.fastpath
+        self._fp_sample_bursts = runtime.protocol.fp_sample_bursts
+        self._fp_bypass_threshold = runtime.protocol.fp_bypass_hits_per_burst
         if runtime.fastpath:
             self.read = self._read_fast
             self.write = self._write_fast
@@ -198,17 +220,17 @@ class Env:
         Cleared in place so batched loops can hold direct references.
 
         Doubles as the adaptive-bypass sampling point: every reset ends
-        one burst, and after :data:`_FP_SAMPLE_BURSTS` bursts the Env
-        decides once whether its burst caches earn their keep.
+        one burst, and after the engine's ``fp_sample_bursts`` bursts
+        the Env decides once whether its burst caches earn their keep.
         """
         self._fp_pages.clear()
         self._fp_rlines.clear()
         self._fp_wlines.clear()
         if self._fp_adaptive:
             self._fp_bursts += 1
-            if self._fp_bursts >= _FP_SAMPLE_BURSTS:
+            if self._fp_bursts >= self._fp_sample_bursts:
                 self._fp_adaptive = False
-                if self._fp_hits < _FP_BYPASS_HITS_PER_BURST * self._fp_bursts:
+                if self._fp_hits < self._fp_bypass_threshold * self._fp_bursts:
                     self._fp_bypass()
 
     def _fp_bypass(self) -> None:
@@ -327,15 +349,109 @@ class Env:
             yield ("pause",)
             self._fp_reset()
 
+    def _fp_resolve(self, vpn: int):
+        """Resolve ``vpn`` with read privilege iff no fault is needed.
+
+        The non-suspending sibling of :meth:`_fp_load`: returns and
+        caches the same ``(frame data, write-ok, owner)`` entry when the
+        page is already mapped, or None (caching nothing, charging
+        nothing) when resolution would fault.  The vector path uses it
+        to prove a whole batch fault-free before committing to it;
+        entries it caches are valid for the rest of the burst either
+        way, exactly as if :meth:`_fp_load` had resolved them.
+        """
+        if self._tlb.lookup(vpn) is None:
+            return None
+        if self._hw_only:
+            entry = (
+                self._protocol.home(vpn).data,
+                True,
+                self._rt.aspace.home_proc(vpn),
+            )
+        else:
+            frame = self._frames[vpn]
+            entry = (frame.data, self._tlb.has_write(vpn), frame.owner_pid)
+        self._fp_pages[vpn] = entry
+        return entry
+
+    def _read_vector(self, addrs, n: int, tcost: int):
+        """All-hit aggregate load of ``addrs``; None → caller goes scalar.
+
+        Preconditions proved before anything is charged: every page
+        mapped (no faults), every line a guaranteed hit — via the burst
+        caches or one :meth:`CacheSystem.hit_lines` directory probe —
+        and the whole charge of ``n * (translate + hit)`` cycles inside
+        the current quantum (no pause).  Then the per-word loop's exact
+        effect is applied in aggregate: one clock/bucket bump, ``n``
+        recorded hits, burst-hit sampling credit, newly probed lines
+        remembered, and one numpy gather per touched page.
+        """
+        t = self._t
+        whit = tcost + self._hit_cost
+        if n * whit > t.last_yield + self._quantum - t.time:
+            return None
+        arr = np.asarray(addrs, dtype=np.int64)
+        pages = self._fp_pages
+        vpns = arr // self._page_size
+        uvpns = np.unique(vpns).tolist()
+        for vpn in uvpns:
+            if vpn not in pages and self._fp_resolve(vpn) is None:
+                return None
+        lines = arr // self._line_size
+        ulines, ucounts = np.unique(lines, return_counts=True)
+        rlines = self._fp_rlines
+        wlines = self._fp_wlines
+        # Burst-cache hits the per-word loop would have sampled: every
+        # access to an already-known line, plus the repeats of each line
+        # first proven by the directory probe below.
+        burst_hits = 0
+        unknown = []
+        for line, c in zip(ulines.tolist(), ucounts.tolist()):
+            if line in wlines or line in rlines:
+                burst_hits += c
+            else:
+                unknown.append(line)
+                burst_hits += c - 1
+        if unknown and not self._cache.hit_lines(
+            self.cluster, self.pid, unknown, False
+        ):
+            return None
+        rlines.update(unknown)
+        self._cache_counts[0] += n
+        self._fp_hits += burst_hits
+        cost = n * whit
+        t.time += cost
+        t.user += cost
+        widx = (arr % self._page_size) // WORD_BYTES
+        out = np.empty(n, dtype=np.float64)
+        if len(uvpns) == 1:
+            out[:] = pages[uvpns[0]][0][widx]
+        else:
+            for vpn in uvpns:
+                sel = vpns == vpn
+                out[sel] = pages[vpn][0][widx[sel]]
+        return out.tolist()
+
     def _read_many_fast(self, addrs: Iterable[int], ptr: bool = False):
         """Load several shared words in one call.
 
         Usage: ``a, b = yield from env.read_many((addr_a, addr_b))``.
         Equivalent — cycle for cycle, fault for fault, pause for pause —
         to a sequence of ``env.read`` calls over ``addrs``, but resolves
-        the whole run inside one generator.
+        the whole run inside one generator.  Batches long enough to
+        amortize the setup first try the all-hit vector path
+        (:meth:`_read_vector`); anything it cannot prove conflict-free
+        falls through to the per-word loop untouched.
         """
         t = self._t
+        if not isinstance(addrs, (tuple, list)):
+            addrs = tuple(addrs)
+        if len(addrs) >= _VEC_MIN_ADDRS:
+            out = self._read_vector(
+                addrs, len(addrs), self._tp if ptr else self._ta
+            )
+            if out is not None:
+                return out
         pages = self._fp_pages
         rlines = self._fp_rlines
         wlines = self._fp_wlines
@@ -399,6 +515,7 @@ class Env:
         rlines = self._fp_rlines
         wlines = self._fp_wlines
         access = self._cache.access
+        access_run = self._cache.access_run
         hit_run = self._cache.hit_run
         counts = self._cache_counts
         cluster = self.cluster
@@ -409,6 +526,13 @@ class Env:
         hit_cost = self._hit_cost
         tcost = self._tp if ptr else self._ta
         whit = tcost + hit_cost
+        # A miss batch is only worth attempting when the quantum budget
+        # can admit at least one worst-case *hardware* line plus its
+        # hit words (access_run's per-line bound rejects a first line
+        # that is software-class and does not fit).
+        batch_floor = self._cache.worst_hw_miss + tcost + (
+            line_size // WORD_BYTES - 1
+        ) * whit
         out = []
         append = out.append
         extend = out.extend
@@ -457,9 +581,57 @@ class Env:
             while addr < chunk_end:
                 line = addr // line_size
                 max_lines = (chunk_end - 1) // line_size - line + 1
-                nhit = hit_run(cluster, pid, line, max_lines, False)
+                budget = t.last_yield + quantum - ttime
+                # Words beyond the first ``budget // whit + 1`` cannot
+                # be charged before the next pause, and the pause stales
+                # the probe anyway — so cap the probe at the lines the
+                # budget can actually reach instead of the whole chunk.
+                m = budget // whit + 1
+                cap = (addr + m * WORD_BYTES - 1) // line_size - line + 1
+                if cap > max_lines:
+                    cap = max_lines
+                nhit = hit_run(cluster, pid, line, cap, False)
                 if nhit == 0:
-                    # A genuine miss: classify, charge, move one word.
+                    # A run of genuine misses: service consecutive
+                    # missing lines in one directory call, with the
+                    # per-line classification, counts, and charges of
+                    # the word loop — capped so no quantum pause can
+                    # fall inside the batch.
+                    k = 0
+                    if budget > batch_floor:
+                        extras = []
+                        a = addr
+                        line_end = (line + 1) * line_size
+                        while a < chunk_end:
+                            we = (
+                                chunk_end
+                                if chunk_end < line_end
+                                else line_end
+                            )
+                            extras.append(
+                                tcost + ((we - a) // WORD_BYTES - 1) * whit
+                            )
+                            a = we
+                            line_end += line_size
+                        k, charge = access_run(
+                            cluster, pid, line, False, owner, extras, budget
+                        )
+                    if k:
+                        run_end = (line + k) * line_size
+                        if run_end > chunk_end:
+                            run_end = chunk_end
+                        m = (run_end - addr) // WORD_BYTES
+                        rlines.update(range(line, line + k))
+                        counts[0] += m - k
+                        self._fp_hits += m - k
+                        ttime += charge
+                        tuser += charge
+                        w0 = (addr % page_size) // WORD_BYTES
+                        extend(data[w0 : w0 + m].tolist())
+                        addr = run_end
+                        continue
+                    # Batch would cross the quantum before its first
+                    # line: classify, charge, move one word.
                     cost = access(cluster, pid, line, False, owner)
                     rlines.add(line)
                     ttime += tcost + cost
@@ -484,8 +656,6 @@ class Env:
                 if run_end > chunk_end:
                     run_end = chunk_end
                 k = (run_end - addr) // WORD_BYTES
-                budget = t.last_yield + quantum - ttime
-                m = budget // whit + 1
                 if m >= k:
                     m = k
                     paused = k * whit > budget
@@ -526,6 +696,7 @@ class Env:
         pages = self._fp_pages
         wlines = self._fp_wlines
         access = self._cache.access
+        access_run = self._cache.access_run
         hit_run = self._cache.hit_run
         counts = self._cache_counts
         cluster = self.cluster
@@ -536,6 +707,9 @@ class Env:
         hit_cost = self._hit_cost
         tcost = self._tp if ptr else self._ta
         whit = tcost + hit_cost
+        batch_floor = self._cache.worst_hw_miss + tcost + (
+            line_size // WORD_BYTES - 1
+        ) * whit
         vi = 0
         ttime = t.time
         tuser = t.user
@@ -581,8 +755,51 @@ class Env:
             while addr < chunk_end:
                 line = addr // line_size
                 max_lines = (chunk_end - 1) // line_size - line + 1
-                nhit = hit_run(cluster, pid, line, max_lines, True)
+                budget = t.last_yield + quantum - ttime
+                # Budget-capped probe, as in _read_block_fast.
+                m = budget // whit + 1
+                cap = (addr + m * WORD_BYTES - 1) // line_size - line + 1
+                if cap > max_lines:
+                    cap = max_lines
+                nhit = hit_run(cluster, pid, line, cap, True)
                 if nhit == 0:
+                    # Batched miss run, as in _read_block_fast: stores
+                    # land in aggregate, and the budget cap proves no
+                    # pause falls inside the batch.
+                    k = 0
+                    if budget > batch_floor:
+                        extras = []
+                        a = addr
+                        line_end = (line + 1) * line_size
+                        while a < chunk_end:
+                            we = (
+                                chunk_end
+                                if chunk_end < line_end
+                                else line_end
+                            )
+                            extras.append(
+                                tcost + ((we - a) // WORD_BYTES - 1) * whit
+                            )
+                            a = we
+                            line_end += line_size
+                        k, charge = access_run(
+                            cluster, pid, line, True, owner, extras, budget
+                        )
+                    if k:
+                        run_end = (line + k) * line_size
+                        if run_end > chunk_end:
+                            run_end = chunk_end
+                        m = (run_end - addr) // WORD_BYTES
+                        wlines.update(range(line, line + k))
+                        counts[0] += m - k
+                        self._fp_hits += m - k
+                        ttime += charge
+                        tuser += charge
+                        w0 = (addr % page_size) // WORD_BYTES
+                        data[w0 : w0 + m] = values[vi : vi + m]
+                        vi += m
+                        addr = run_end
+                        continue
                     cost = access(cluster, pid, line, True, owner)
                     wlines.add(line)
                     ttime += tcost + cost
@@ -603,8 +820,6 @@ class Env:
                 if run_end > chunk_end:
                     run_end = chunk_end
                 k = (run_end - addr) // WORD_BYTES
-                budget = t.last_yield + quantum - ttime
-                m = budget // whit + 1
                 if m >= k:
                     m = k
                     paused = k * whit > budget

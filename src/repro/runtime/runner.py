@@ -24,13 +24,19 @@ from repro.hw import CacheSystem
 from repro.machine import Machine
 from repro.params import CostModel, MachineConfig
 from repro.runtime.env import Env
+from repro.runtime.replay import replay_enabled_default
 from repro.runtime.shared import SharedArray
 from repro.runtime.thread import ThreadContext
 from repro.sim import Simulator
 from repro.svm import AccessKind, AddressSpace
 from repro.sync import LockStats, MGSLock, TreeBarrier
 
-__all__ = ["Runtime", "RunResult", "fastpath_enabled_default"]
+__all__ = [
+    "Runtime",
+    "RunResult",
+    "fastpath_enabled_default",
+    "replay_enabled_default",
+]
 
 
 def fastpath_enabled_default() -> bool:
@@ -105,12 +111,16 @@ class Runtime:
         quantum: int = 1500,
         fastpath: bool | None = None,
         analysis=None,
+        replay: bool | None = None,
     ) -> None:
         self.config = config
         self.costs = costs if costs is not None else CostModel()
         self.quantum = quantum
         self.fastpath = (
             fastpath_enabled_default() if fastpath is None else bool(fastpath)
+        )
+        self.replay = (
+            replay_enabled_default() if replay is None else bool(replay)
         )
         self.sim = Simulator()
         self.machine = Machine(self.sim, config, self.costs)
@@ -130,6 +140,14 @@ class Runtime:
         self.threads: list[ThreadContext] = []
         self.envs: list[Env] = []
         self._spawned = False
+        # Phased execution (spawn_phases): factory producing one fresh
+        # generator per (thread, phase), plus the per-phase replay keys.
+        self._phase_factory = None
+        self._phase_count = 0
+        self._phase_keys: list = []
+        #: the PhaseRecorder of the last phased run (None when replay was
+        #: off or never fired); tests read ``replayed``/``recorded`` here.
+        self.phase_recorder = None
         # Opt-in checkers (see repro.analysis): pure observers, attached
         # before threads spawn so Env instrumentation sees them.  Both
         # stay None — and every hot path identical — when analysis is off.
@@ -167,6 +185,8 @@ class Runtime:
 
     def spawn(self, genfunc: Callable[[Env], object]) -> ThreadContext:
         """Add one application thread; it runs on the next processor."""
+        if self._phase_factory is not None:
+            raise RuntimeError("spawn cannot be mixed with spawn_phases")
         pid = len(self.threads)
         if pid >= self.config.total_processors:
             raise RuntimeError("more threads than processors")
@@ -181,6 +201,51 @@ class Runtime:
         """One thread per processor."""
         for _ in range(self.config.total_processors):
             self.spawn(genfunc)
+
+    def spawn_phases(
+        self,
+        factory: Callable[[Env, int], object],
+        phases: int,
+        keys: list | None = None,
+    ) -> None:
+        """Run the application as a sequence of barrier-delimited phases.
+
+        ``factory(env, phase_index)`` must return a *fresh* generator for
+        every call — one per (processor, phase).  Phases execute in order;
+        each thread's clock and cycle buckets carry across phases, so the
+        result is the same simulated execution an equivalent
+        :meth:`spawn_all` program would produce — phase boundaries only
+        add the scheduling points that already exist at the barrier each
+        phase is expected to end with.
+
+        The payoff is **phase replay**: because a fresh generator holds
+        no state from earlier phases, the machine state at a phase
+        boundary fully determines the phase's behavior.  When two phases
+        start from the same digest (same ``keys`` entry, same machine
+        state — see :mod:`repro.runtime.replay`), the second one is
+        applied in closed form instead of being re-simulated.
+
+        Args:
+            factory: ``(env, phase_index) -> generator``.
+            phases: number of phases to run.
+            keys: optional per-phase replay keys (default: the phase
+                index, which never replays; iterative apps pass a value
+                that repeats, e.g. ``0`` for every sweep iteration, or
+                the iteration's parameter tuple).
+        """
+        if self.threads:
+            raise RuntimeError("spawn_phases cannot be mixed with spawn")
+        if phases <= 0:
+            raise ValueError(f"need at least one phase (got {phases})")
+        if keys is not None and len(keys) != phases:
+            raise ValueError(
+                f"keys has {len(keys)} entries for {phases} phases"
+            )
+        self._phase_factory = factory
+        self._phase_count = phases
+        self._phase_keys = list(keys) if keys is not None else list(range(phases))
+        for pid in range(self.config.total_processors):
+            self.threads.append(ThreadContext(pid=pid, gen=None))  # type: ignore[arg-type]
 
     def annotate_benign_race(
         self, addr: int, words: int = 1, reason: str = ""
@@ -203,16 +268,95 @@ class Runtime:
         """Drive every thread to completion and gather statistics."""
         if not self.threads:
             raise RuntimeError("no threads spawned")
+        if self._phase_factory is not None:
+            return self._run_phased(max_events)
         for t in self.threads:
             self.sim.schedule_at(0, self._resume, t, None)
         self.sim.run(max_events=max_events)
+        self._check_finished()
+        if self.sanitizer is not None:
+            self.sanitizer.check_quiescent()
+        return self._collect_result()
+
+    def _check_finished(self) -> None:
         unfinished = [t.pid for t in self.threads if not t.done]
         if unfinished:
             raise RuntimeError(
                 f"threads {unfinished} never finished (deadlock or missing barrier)"
             )
+
+    def _replay_active(self) -> bool:
+        """Whether this phased run may record and replay phases.
+
+        Fault injection and the reliable transport consume absolute
+        per-link counters a time-translated replay cannot reproduce, and
+        the analysis checkers observe the very messages replay elides, so
+        any of them forces full execution.  (Engines additionally opt in
+        per-protocol via ``Protocol.phase_state``.)
+        """
+        return (
+            self.replay
+            and self.machine.transport is None
+            and self.machine.faults is None
+            and self.sanitizer is None
+            and self.race_detector is None
+        )
+
+    def _start_phase(self, index: int) -> None:
+        """Hand every thread a fresh generator and schedule its resume."""
+        self.envs = []
+        for t in self.threads:
+            t.done = False
+            env = Env(self, t)
+            t.gen = self._phase_factory(env, index)
+            self.envs.append(env)
+            self.sim.schedule_at(t.time, self._resume, t, None)
+
+    def _run_phased(self, max_events: int | None) -> RunResult:
+        recorder = None
+        if self._replay_active():
+            from repro.runtime.replay import PhaseRecorder
+
+            recorder = PhaseRecorder(self)
+        self.phase_recorder = recorder
+        for index in range(self._phase_count):
+            base = min(t.time for t in self.threads)
+            # Phase boundaries are quiescent; rewind the clock to the
+            # earliest thread so schedule_at accepts every resume.
+            self.sim.reset_quiescent(base)
+            digest = None
+            pre_snapshot = pre_events = None
+            if recorder is not None:
+                digested = recorder.state_digest(self._phase_keys[index])
+                if digested is not None:
+                    digest = digested[0]
+                    rec = recorder.records.get(digest)
+                    if rec is not None:
+                        recorder.apply(rec)
+                        continue
+                    pre_snapshot = recorder.cells.snapshot()
+                    pre_events = self.sim.events_processed
+            self._start_phase(index)
+            self.sim.run(max_events=max_events)
+            self._check_finished()
+            if digest is not None:
+                # Replay is sound only for state-idempotent phases: the
+                # execution must have returned the machine to its entry
+                # digest (clocks aside), so applying the delta later
+                # needs no state restoration at all.
+                post = recorder.state_digest(self._phase_keys[index])
+                if post is not None and post[0] == digest:
+                    recorder.record(
+                        digest,
+                        pre_snapshot,
+                        base,
+                        self.sim.events_processed - pre_events,
+                    )
         if self.sanitizer is not None:
             self.sanitizer.check_quiescent()
+        return self._collect_result()
+
+    def _collect_result(self) -> RunResult:
         total = max(t.finish_time for t in self.threads)
         lock_stats = LockStats()
         for lk in self.locks:

@@ -130,6 +130,41 @@ class Simulator:
             while due:
                 heapq.heappush(heap, due.popleft())
 
+    def reset_quiescent(self, now: int) -> None:
+        """Move the clock while the event queue is empty.
+
+        Phase boundaries (``Runtime.spawn_phases``) are quiescent points:
+        every thread has finished its phase generator and the heap has
+        drained, but the per-thread clocks differ by the final barrier's
+        departure skew.  The next phase resumes each thread at its own
+        clock, which may lie *before* the last processed event, so the
+        driver rewinds the simulator to the earliest thread clock first.
+        With no events pending, the clock value carries no information —
+        rewinding it cannot reorder anything.
+        """
+        if self._heap or self._due:
+            raise RuntimeError(
+                f"reset_quiescent with {self.pending} events pending"
+            )
+        self._now = now
+
+    def replay_advance(self, now: int, events: int) -> None:
+        """Apply a replayed phase's clock and event-count effect.
+
+        Used by the phase-replay engine (``repro.runtime.replay``) when a
+        recorded phase is applied in closed form: the events it would
+        have processed are accounted without executing them.  Only legal
+        at a quiescent point.
+        """
+        if self._heap or self._due:
+            raise RuntimeError(
+                f"replay_advance with {self.pending} events pending"
+            )
+        if events < 0:
+            raise ValueError(f"negative replayed event count {events}")
+        self._now = now
+        self._events_processed += events
+
     def step(self) -> bool:
         """Process a single event.  Returns False if the queue was empty."""
         if not self._heap:

@@ -7,6 +7,23 @@ import pytest
 
 from repro.apps import jacobi
 from repro.bench import parallel_map, resolve_jobs, run_figures, run_sweep
+from repro.bench import parallel as par
+
+
+# Worker functions must be module-level: the persistent pool's workers
+# resolve submitted functions by qualified name.
+def _negate(x):
+    return -x
+
+
+def _read_env(key):
+    return os.environ.get(key)
+
+
+def _maybe_boom(x):
+    if x < 0:
+        raise ValueError(f"boom {x}")
+    return x * 10
 
 
 # ---------------------------------------------------------------------------
@@ -101,6 +118,86 @@ def test_submission_order_is_longest_first_unknowns_lead():
     assert _submission_order(3, None) == [0, 1, 2]
     # ties keep input order (stable, deterministic)
     assert _submission_order(3, [1.0, 1.0, 2.0]) == [2, 0, 1]
+
+
+# ---------------------------------------------------------------------------
+# the persistent pool
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def fresh_pool(monkeypatch):
+    """Pretend to be multi-core and start from (and leave behind) no pool."""
+    monkeypatch.setattr(os, "cpu_count", lambda: 2)
+    par.shutdown_pool()
+    yield
+    par.shutdown_pool()
+
+
+def test_pool_persists_across_calls(fresh_pool):
+    assert parallel_map(_negate, [(1,), (2,)], jobs=2) == [-1, -2]
+    first = par._POOL
+    assert first is not None
+    assert parallel_map(_negate, [(3,), (4,)], jobs=2) == [-3, -4]
+    assert par._POOL is first  # reused, not re-forked
+
+
+def test_pool_grows_but_never_shrinks(fresh_pool):
+    parallel_map(_negate, [(1,), (2,)], jobs=2)
+    assert par._POOL_WORKERS == 2
+    parallel_map(_negate, [(1,), (2,), (3,)], jobs=3)
+    grown = par._POOL
+    assert par._POOL_WORKERS == 3
+    # A smaller request is windowed onto the big pool, not a shrink.
+    parallel_map(_negate, [(1,), (2,)], jobs=2)
+    assert par._POOL is grown
+    assert par._POOL_WORKERS == 3
+
+
+def test_env_snapshot_reaches_long_lived_workers(fresh_pool, monkeypatch):
+    key = "REPRO_TEST_POOL_FLAG"
+    monkeypatch.setenv(key, "on")
+    assert parallel_map(_read_env, [(key,), (key,)], jobs=2) == ["on", "on"]
+    # Removal must propagate too: the workers forked while it was set.
+    monkeypatch.delenv(key)
+    assert parallel_map(_read_env, [(key,), (key,)], jobs=2) == [None, None]
+
+
+def test_errors_raise_lowest_input_index(fresh_pool):
+    with pytest.raises(ValueError, match="boom -2"):
+        parallel_map(
+            _maybe_boom, [(1,), (-2,), (3,), (-4,)], jobs=2
+        )
+    # An ordinary job exception must not poison the pool.
+    assert parallel_map(_maybe_boom, [(5,), (6,)], jobs=2) == [50, 60]
+
+
+def test_shutdown_pool_is_idempotent(fresh_pool):
+    parallel_map(_negate, [(1,), (2,)], jobs=2)
+    par.shutdown_pool()
+    assert par._POOL is None
+    par.shutdown_pool()  # second call is a no-op
+    assert parallel_map(_negate, [(7,), (8,)], jobs=2) == [-7, -8]
+
+
+def test_single_cpu_fallback_prints_one_notice(monkeypatch, capsys):
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    monkeypatch.setattr(par, "_WARNED_SINGLE_CPU", False)
+    parallel_map(_negate, [(1,), (2,)], jobs=4)
+    err = capsys.readouterr().err
+    assert "single-CPU machine" in err and "jobs=4" in err
+    parallel_map(_negate, [(1,), (2,)], jobs=4)
+    assert "single-CPU" not in capsys.readouterr().err  # once per process
+
+
+def test_single_cpu_notice_not_printed_for_serial_requests(
+    monkeypatch, capsys
+):
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    monkeypatch.setattr(par, "_WARNED_SINGLE_CPU", False)
+    parallel_map(_negate, [(1,), (2,)], jobs=1)
+    parallel_map(_negate, [(1,)], jobs=4)
+    assert capsys.readouterr().err == ""
 
 
 # ---------------------------------------------------------------------------
