@@ -253,6 +253,7 @@ class RaceDetector:
         inner_read_block = env.read_block
         inner_write_block = env.write_block
         inner_read_many = env.read_many
+        inner_write_many = env.write_many
 
         def read(addr: int, ptr: bool = False):
             value = yield from inner_read(addr, ptr)
@@ -279,11 +280,18 @@ class RaceDetector:
                 self.on_read(pid, a)
             return values
 
+        def write_many(addrs: Iterable[int], values, ptr: bool = False):
+            addrs = tuple(addrs)
+            yield from inner_write_many(addrs, values, ptr)
+            for a in addrs:
+                self.on_write(pid, a)
+
         env.read = read
         env.write = write
         env.read_block = read_block
         env.write_block = write_block
         env.read_many = read_many
+        env.write_many = write_many
 
     # ------------------------------------------------------------------
     # verdict

@@ -90,5 +90,16 @@ def make_runtime(
     quantum: int = 1500,
     fastpath: bool | None = None,
     replay: bool | None = None,
+    replay_store=None,
 ) -> Runtime:
-    return Runtime(config, costs, quantum, fastpath=fastpath, replay=replay)
+    """``replay_store`` follows :func:`repro.bench.cache
+    .resolve_replay_store` semantics: None consults the environment, an
+    instance pins the persistent phase-replay store explicitly."""
+    return Runtime(
+        config,
+        costs,
+        quantum,
+        fastpath=fastpath,
+        replay=replay,
+        replay_store=replay_store,
+    )

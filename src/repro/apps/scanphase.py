@@ -136,7 +136,10 @@ def run(
     max_error = float(
         max(abs(m - r) for m, r in zip(measured, reference))
     ) if len(measured) == len(reference) else float("inf")
-    recorder = rt.phase_recorder
+    # Replay counters live in result.replay_cache, NOT aux: aux is
+    # serialized into run-cache entries, and a store-warm run replays
+    # more phases than the run that recorded them — counters in aux
+    # would break cold/warm byte-identity.
     return AppRun(
         name="scanphase",
         result=result,
@@ -145,7 +148,5 @@ def run(
         aux={
             "words": params.words,
             "phases": params.phases,
-            "replayed": recorder.replayed if recorder else 0,
-            "recorded": recorder.recorded if recorder else 0,
         },
     )

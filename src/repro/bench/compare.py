@@ -226,6 +226,9 @@ def main(argv: list[str] | None = None) -> int:
         "--csv", action="store_true",
         help="emit the comparison as CSV instead of rendered figures",
     )
+    from repro.cli import add_replay_args, apply_replay_args
+
+    add_replay_args(parser)
     args = parser.parse_args(argv)
 
     sizes = None
@@ -234,6 +237,10 @@ def main(argv: list[str] | None = None) -> int:
             sizes = [int(part, 0) for part in _csv_list(args.sizes)]
         except ValueError as exc:
             parser.error(f"bad --sizes: {exc}")
+    try:
+        apply_replay_args(args)
+    except ValueError as exc:
+        parser.error(str(exc))
     try:
         comparison = run_comparison(
             args.apps,
@@ -249,6 +256,9 @@ def main(argv: list[str] | None = None) -> int:
         sys.stdout.write(comparison_to_csv(comparison))
     else:
         sys.stdout.write(render_comparison(comparison))
+    from repro.cli import print_replay_summary
+
+    print_replay_summary()
     return 0
 
 

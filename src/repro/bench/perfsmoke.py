@@ -39,6 +39,17 @@ Workloads:
   with phase replay on and off: the closed-form path must produce the
   identical simulated time and event count, and ``speedup_replay`` is
   the headline number for the replay engine.
+* ``write_block_fast`` — the write-side twin of ``hit_block``: every
+  processor streams ``write_block`` over its own buffer, exercising the
+  vectorized all-hit scatter path (fast vs slow engine, cycle-checked).
+* ``sweep_replay_warm`` — the persistent replay store
+  (``repro.bench.cache.ReplayStore``): one priming run records the
+  phase deltas, then a replay-off run (the cold bound: every phase
+  executes) is timed against a store-warm run in a *fresh* runtime with
+  a *fresh* store instance — the cold-process model, nothing served
+  from in-process memory.  The warm run must replay every repeated
+  phase from the store (zero new records) and agree with the cold run
+  on simulated time and event count; ``speedup_warm`` is gated.
 
 Every run cross-checks fast-vs-slow cycle counts, so the perf smoke is
 also a determinism smoke.
@@ -65,7 +76,7 @@ from repro.runtime import Runtime
 __all__ = ["run_perfsmoke", "check_against_baseline", "main", "GATES"]
 
 #: bump when workloads change incompatibly (baselines stop comparing)
-SCHEMA = 3
+SCHEMA = 4
 
 #: Per-benchmark regression gates: benchmark -> (metric, tolerance).
 #: CI fails when a gated metric drops below ``baseline * (1 - tol)``.
@@ -75,9 +86,11 @@ SCHEMA = 3
 #: machine speed cancels out and it can be tight again.
 GATES: dict[str, tuple[str, float]] = {
     "hit_block_fast": ("words_per_sec", 0.30),
+    "write_block_fast": ("words_per_sec", 0.30),
     "jacobi_fast": ("events_per_sec", 0.35),
     "swdsm_jacobi_fast": ("events_per_sec", 0.35),
     "figure_replay": ("speedup_replay", 0.25),
+    "sweep_replay_warm": ("speedup_warm", 0.25),
 }
 
 
@@ -99,6 +112,45 @@ def _hit_block_runtime(fastpath: bool, nwords: int, passes: int) -> Runtime:
 
 def _bench_hit_block(fastpath: bool, nwords: int, passes: int) -> dict:
     rt = _hit_block_runtime(fastpath, nwords, passes)
+    words = nwords * passes * rt.config.total_processors
+    t0 = time.perf_counter()
+    result = rt.run()
+    seconds = time.perf_counter() - t0
+    return {
+        "seconds": round(seconds, 4),
+        "words": words,
+        "words_per_sec": round(words / seconds),
+        "events_per_sec": round(rt.sim.events_processed / seconds),
+        "total_time": result.total_time,
+        "cache_stats": dict(result.cache_stats),
+    }
+
+
+def _write_block_runtime(fastpath: bool, nwords: int, passes: int) -> Runtime:
+    config = MachineConfig(total_processors=4, cluster_size=2)
+    rt = Runtime(config, fastpath=fastpath)
+    arr = rt.array("buf", nwords * config.total_processors)
+    arr.init([float(i) for i in range(nwords * config.total_processors)])
+
+    def worker(env):
+        base = arr.addr(env.pid * nwords)
+        values = [float(env.pid + w) for w in range(nwords)]
+        for _ in range(passes):
+            yield from env.write_block(base, values)
+        yield from env.barrier()
+
+    rt.spawn_all(worker)
+    return rt
+
+
+def _bench_write_block(fastpath: bool, nwords: int, passes: int) -> dict:
+    """Hit-dominated write streaming: the vectorized scatter path.
+
+    The first pass faults ownership in; every later pass is all write
+    hits, so throughput measures ``_write_block_vector`` (fast) against
+    the word-at-a-time store loop (slow).
+    """
+    rt = _write_block_runtime(fastpath, nwords, passes)
     words = nwords * passes * rt.config.total_processors
     t0 = time.perf_counter()
     result = rt.run()
@@ -253,6 +305,79 @@ def _bench_figure_replay(phases: int, reps: int = 1) -> dict:
     }
 
 
+def _bench_sweep_replay_warm(phases: int, reps: int = 1) -> dict:
+    """Cold (replay off) vs store-warm (fresh runtime + persisted
+    deltas) phased run; the warm pass must be all store hits."""
+    from repro.bench.cache import ReplayStore
+
+    config = MachineConfig(total_processors=8, cluster_size=2)
+    params = scanphase.ScanPhaseParams(phases=phases)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Prime: one recording run fills the store.
+        rt = scanphase.make_runtime(
+            config, replay=True, replay_store=ReplayStore(tmp)
+        )
+        scanphase.build(rt, params)
+        rt.run()
+        if rt.phase_recorder is None or rt.phase_recorder.cache_stores < 1:
+            raise AssertionError("priming run persisted no replay records")
+
+        # Cold bound: no replay engine at all — every phase executes,
+        # the cost a fresh process pays without the store.
+        cold_seconds = None
+        for _ in range(reps):
+            rt_cold = scanphase.make_runtime(config, replay=False)
+            scanphase.build(rt_cold, params)
+            t0 = time.perf_counter()
+            result_cold = rt_cold.run()
+            elapsed = time.perf_counter() - t0
+            if cold_seconds is None or elapsed < cold_seconds:
+                cold_seconds = elapsed
+
+        # Warm: fresh runtime, fresh store instance (empty payload
+        # memo) — the cold-process model: every record comes off disk.
+        warm_seconds = None
+        for _ in range(reps):
+            store = ReplayStore(tmp)
+            rt_warm = scanphase.make_runtime(
+                config, replay=True, replay_store=store
+            )
+            scanphase.build(rt_warm, params)
+            t0 = time.perf_counter()
+            result_warm = rt_warm.run()
+            elapsed = time.perf_counter() - t0
+            if warm_seconds is None or elapsed < warm_seconds:
+                warm_seconds = elapsed
+            recorder = rt_warm.phase_recorder
+            if store.stats.stores != 0 or recorder.cache_hits == 0:
+                raise AssertionError(
+                    f"warm replay run was not all store hits: "
+                    f"{recorder.cache_summary()}"
+                )
+            if recorder.cache_hits != recorder.replayed:
+                raise AssertionError(
+                    "warm run replayed phases not served by the store"
+                )
+        if (result_warm.total_time, rt_warm.sim.events_processed) != (
+            result_cold.total_time,
+            rt_cold.sim.events_processed,
+        ):
+            raise AssertionError(
+                "store-warm replay diverged from execution (scanphase)"
+            )
+
+    return {
+        "phases": phases,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup_warm": round(cold_seconds / warm_seconds, 2),
+        "phases_replayed_warm": recorder.replayed,
+        "store_warm": dict(store.summary(), dir=None),
+        "total_time": result_warm.total_time,
+    }
+
+
 def run_perfsmoke(quick: bool = False) -> dict:
     """Measure the workload set and return the report dict."""
     if quick:
@@ -273,6 +398,14 @@ def run_perfsmoke(quick: bool = False) -> dict:
     ):
         raise AssertionError("fastpath diverged from slow path (hit_block)")
 
+    wb_fast = _bench_write_block(True, nwords, passes)
+    wb_slow = _bench_write_block(False, nwords, passes)
+    if (wb_fast["total_time"], wb_fast["cache_stats"]) != (
+        wb_slow["total_time"],
+        wb_slow["cache_stats"],
+    ):
+        raise AssertionError("fastpath diverged from slow path (write_block)")
+
     jac_fast = _bench_jacobi(True, jn, jit, reps=jreps)
     jac_slow = _bench_jacobi(False, jn, jit, reps=jreps)
     if jac_fast["total_time"] != jac_slow["total_time"]:
@@ -288,6 +421,7 @@ def run_perfsmoke(quick: bool = False) -> dict:
     sweep = _bench_sweep(32, 3)
     cached = _bench_cached_sweep(32, 3)
     replay = _bench_figure_replay(phases, reps=jreps)
+    replay_warm = _bench_sweep_replay_warm(phases, reps=jreps)
 
     return {
         "schema": SCHEMA,
@@ -302,6 +436,8 @@ def run_perfsmoke(quick: bool = False) -> dict:
         "benchmarks": {
             "hit_block_fast": hit_fast,
             "hit_block_slow": hit_slow,
+            "write_block_fast": wb_fast,
+            "write_block_slow": wb_slow,
             "jacobi_fast": jac_fast,
             "jacobi_slow": jac_slow,
             "swdsm_jacobi_fast": sw_fast,
@@ -309,6 +445,7 @@ def run_perfsmoke(quick: bool = False) -> dict:
             "sweep": sweep,
             "sweep_cached": cached,
             "figure_replay": replay,
+            "sweep_replay_warm": replay_warm,
         },
         "speedups": {
             "hit_block_fastpath": round(
@@ -320,8 +457,12 @@ def run_perfsmoke(quick: bool = False) -> dict:
             "swdsm_jacobi_fastpath": round(
                 sw_slow["seconds"] / sw_fast["seconds"], 2
             ),
+            "write_block_fastpath": round(
+                wb_slow["seconds"] / wb_fast["seconds"], 2
+            ),
             "warm_cache": cached["speedup_warm"],
             "figure_replay": replay["speedup_replay"],
+            "sweep_replay_warm": replay_warm["speedup_warm"],
         },
     }
 
@@ -416,6 +557,12 @@ def main(argv: list[str] | None = None) -> int:
         f"   ({b['sweep_cached']['cache_warm']['hits']}/"
         f"{b['sweep_cached']['points']} hits, verified)"
     )
+    print(
+        f"  write_block fast {b['write_block_fast']['seconds']:.3f}s"
+        f" ({b['write_block_fast']['words_per_sec']:,} words/s)"
+        f"   slow {b['write_block_slow']['seconds']:.3f}s"
+        f"   speedup {report['speedups']['write_block_fastpath']}x"
+    )
     fr = b["figure_replay"]
     print(
         f"  figure_replay on {fr['replay']['seconds']:.3f}s"
@@ -423,6 +570,14 @@ def main(argv: list[str] | None = None) -> int:
         f"   speedup {fr['speedup_replay']}x"
         f"   ({fr['replay']['phases_replayed']}/{fr['phases']} phases"
         " replayed, identical)"
+    )
+    rw = b["sweep_replay_warm"]
+    print(
+        f"  replay store cold {rw['cold_seconds']:.3f}s"
+        f"   warm {rw['warm_seconds']:.3f}s"
+        f"   speedup {rw['speedup_warm']}x"
+        f"   ({rw['phases_replayed_warm']}/{rw['phases']} phases from"
+        " store, identical)"
     )
     print(f"  report -> {args.out}")
 

@@ -19,6 +19,7 @@ under ``results/``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.apps import ALL_APPS
@@ -40,7 +41,14 @@ from repro.bench import (
 from repro.bench.micro import PAPER_TABLE3
 from repro.params import EXTERNAL_MODELS, NetworkConfig
 
-__all__ = ["main", "network_from_args", "cache_from_args"]
+__all__ = [
+    "main",
+    "network_from_args",
+    "cache_from_args",
+    "add_replay_args",
+    "apply_replay_args",
+    "print_replay_summary",
+]
 
 
 def add_network_args(parser: argparse.ArgumentParser) -> None:
@@ -107,6 +115,89 @@ def cache_from_args(args: argparse.Namespace) -> RunCache | None:
     if args.cache or args.cache_dir or args.cache_verify:
         return RunCache(args.cache_dir)
     return resolve_cache(None)
+
+
+def add_replay_args(parser: argparse.ArgumentParser) -> None:
+    """The phase-replay flag group (see :mod:`repro.runtime.replay`).
+
+    Mirrors ``REPRO_NO_REPLAY`` / ``REPRO_REPLAY_CACHE`` /
+    ``REPRO_REPLAY_CACHE_DIR`` the way ``--cache`` mirrors
+    ``REPRO_CACHE`` / ``REPRO_CACHE_DIR``.  Precedence: an explicit
+    flag always beats the inherited environment (``--replay`` clears an
+    inherited ``REPRO_NO_REPLAY``; ``--no-replay`` sets it); with no
+    flag the environment stands.
+    """
+    group = parser.add_argument_group("phase replay")
+    group.add_argument(
+        "--replay",
+        action="store_true",
+        help="force phase replay on, overriding an inherited "
+        "REPRO_NO_REPLAY (replay is on by default)",
+    )
+    group.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="execute every phase (sets REPRO_NO_REPLAY=1 for this "
+        "invocation, including pool workers); bit-identical, just slower",
+    )
+    group.add_argument(
+        "--replay-cache",
+        action="store_true",
+        help="persist recorded phase deltas in the cross-run replay cache "
+        "(also enabled by REPRO_REPLAY_CACHE=1 or REPRO_REPLAY_CACHE_DIR)",
+    )
+    group.add_argument(
+        "--replay-cache-dir",
+        default=None,
+        metavar="DIR",
+        help="replay cache directory (default: REPRO_REPLAY_CACHE_DIR, "
+        "else <run-cache dir>/replay); implies --replay-cache",
+    )
+
+
+def apply_replay_args(args: argparse.Namespace) -> None:
+    """Apply the replay flag group by mutating ``os.environ``.
+
+    Environment mutation (rather than threading a store object through
+    every harness) is deliberate: in-process runtimes resolve the store
+    from the environment, and ``bench.parallel`` pool workers receive
+    the same state through the per-job ``REPRO_*`` snapshot — so one
+    mechanism covers sweeps, figures, and the comparison harness at any
+    job count.
+    """
+    if args.no_replay:
+        if args.replay or args.replay_cache or args.replay_cache_dir:
+            raise ValueError(
+                "--no-replay conflicts with the other replay flags"
+            )
+        os.environ["REPRO_NO_REPLAY"] = "1"
+        return
+    if args.replay:
+        os.environ.pop("REPRO_NO_REPLAY", None)
+    if args.replay_cache_dir:
+        os.environ["REPRO_REPLAY_CACHE_DIR"] = args.replay_cache_dir
+    if args.replay_cache or args.replay_cache_dir:
+        os.environ["REPRO_REPLAY_CACHE"] = "1"
+
+
+def print_replay_summary() -> None:
+    """One summary line of process-wide replay-cache traffic, to stderr.
+
+    stderr so that two invocations sharing a warm replay cache keep
+    *byte-identical stdout* (the CI cross-process check compares it);
+    the counters necessarily differ between a priming run and a warm
+    one.
+    """
+    from repro.bench.cache import PROCESS_REPLAY_STATS as s
+
+    if not (s.loads or s.stores or s.hits or s.misses):
+        return
+    print(
+        f"replay cache: {s.hits} hits, {s.loads} loads, {s.misses} misses, "
+        f"{s.stores} stored, {s.bytes_read}B read / "
+        f"{s.bytes_written}B written",
+        file=sys.stderr,
+    )
 
 
 def parse_trace_pages(value: str) -> set[int] | None:
@@ -270,10 +361,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_network_args(parser)
     add_cache_args(parser)
+    add_replay_args(parser)
     args = parser.parse_args(argv)
     try:
         network = network_from_args(args)
         cache = cache_from_args(args)
+        apply_replay_args(args)
         trace_pages = (
             parse_trace_pages(args.trace_pages)
             if args.trace_pages is not None
@@ -320,6 +413,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return _dispatch(parser, args, network, jobs, cache)
     finally:
+        print_replay_summary()
         if cache is not None:
             s = cache.stats
             print(

@@ -167,9 +167,10 @@ class CacheSystem:
         hit criterion (sufficient privilege, so an ``access`` would make
         no directory update), applied to an arbitrary iterable of line
         ids instead of a consecutive run.  The runtime's vectorized
-        ``read_many`` uses it to prove a whole scatter/gather access
-        vector conflict-free before charging it in one aggregate; the
-        caller accounts the hits itself (via :meth:`record_hits`).
+        ``read_many``/``write_many`` and the ``write_block`` all-hit
+        preamble use it to prove a whole scatter/gather access vector
+        conflict-free before charging it in one aggregate; the caller
+        accounts the hits itself (via :meth:`record_hits`).
         """
         get = self._lines[cluster].get
         if is_write:

@@ -86,6 +86,14 @@ update, one clock bump, one fancy-indexed gather per touched page,
 zero per-word Python.  Any failed precondition falls back to the
 per-word loop before a single cycle is charged, so the vector path is
 observation-equivalent by construction.
+
+``write_many`` and ``write_block`` get the symmetric treatment: the
+all-hit *scatter* path proves every page resolved with write privilege
+(no faults), every line a guaranteed write hit (owner == pid, via the
+burst caches or one ``hit_lines(..., is_write=True)`` probe), and the
+whole charge inside the quantum — then lands the stores as one numpy
+scatter per touched page.  Write miss runs batch through
+:meth:`CacheSystem.access_run` exactly as reads do.
 """
 
 from __future__ import annotations
@@ -112,11 +120,11 @@ class Env:
     """Per-thread view of the machine.
 
     The memory operations (``read``, ``write``, ``read_block``,
-    ``write_block``, ``read_many``) are bound per instance: to the
-    fast-path implementations normally, or to the original slow paths
-    when the runtime was built with ``fastpath=False`` (e.g. via the
-    ``REPRO_NO_FASTPATH=1`` escape hatch).  Both produce bit-for-bit
-    identical simulations.
+    ``write_block``, ``read_many``, ``write_many``) are bound per
+    instance: to the fast-path implementations normally, or to the
+    original slow paths when the runtime was built with
+    ``fastpath=False`` (e.g. via the ``REPRO_NO_FASTPATH=1`` escape
+    hatch).  Both produce bit-for-bit identical simulations.
     """
 
     __slots__ = (
@@ -152,6 +160,7 @@ class Env:
         "read_block",
         "write_block",
         "read_many",
+        "write_many",
     )
 
     def __init__(self, runtime: "Runtime", thread: "ThreadContext") -> None:
@@ -192,12 +201,14 @@ class Env:
             self.read_block = self._read_block_fast
             self.write_block = self._write_block_fast
             self.read_many = self._read_many_fast
+            self.write_many = self._write_many_fast
         else:
             self.read = self._read_slow
             self.write = self._write_slow
             self.read_block = self._read_block_slow
             self.write_block = self._write_block_slow
             self.read_many = self._read_many_slow
+            self.write_many = self._write_many_slow
         detector = runtime.race_detector
         if detector is not None:
             # Opt-in happens-before race detection (repro.analysis):
@@ -247,6 +258,7 @@ class Env:
         self.read_block = self._read_block_slow
         self.write_block = self._write_block_slow
         self.read_many = self._read_many_slow
+        self.write_many = self._write_many_slow
 
     @property
     def fastpath_bypassed(self) -> bool:
@@ -501,6 +513,154 @@ class Env:
         t.user = tuser
         return out
 
+    def _fp_resolve_write(self, vpn: int):
+        """Resolve ``vpn`` with *write* privilege iff no fault is needed.
+
+        The non-suspending sibling of :meth:`_fp_load_write`, mirroring
+        what :meth:`_fp_resolve` is to :meth:`_fp_load`: returns and
+        caches the ``(frame data, True, owner)`` entry when the page is
+        already write-mapped, or None (caching nothing, charging
+        nothing) when a write fault — or, at C == P, the one-time TLB
+        fill charge — would be required.
+        """
+        if self._tlb.lookup(vpn) is None:
+            return None
+        if self._hw_only:
+            entry = (
+                self._protocol.home(vpn).data,
+                True,
+                self._rt.aspace.home_proc(vpn),
+            )
+        else:
+            if not self._tlb.has_write(vpn):
+                return None
+            frame = self._frames[vpn]
+            entry = (frame.data, True, frame.owner_pid)
+        self._fp_pages[vpn] = entry
+        return entry
+
+    def _write_vector(self, addrs, values, n: int, tcost: int):
+        """All-hit aggregate scatter of ``values`` to ``addrs``; None →
+        caller goes scalar.
+
+        The write twin of :meth:`_read_vector`: every page proved
+        write-resolved (no faults), every line a guaranteed *write* hit
+        — already in the burst write-set, or owner == pid via one
+        ``hit_lines(..., is_write=True)`` probe — and the whole
+        ``n * (translate + hit)`` charge inside the quantum.  Then one
+        clock bump, ``n`` recorded hits, and one numpy fancy-indexed
+        scatter per touched page.  Duplicate target addresses bail to
+        the per-word loop, whose last-store-wins order is explicit.
+        """
+        t = self._t
+        whit = tcost + self._hit_cost
+        if n * whit > t.last_yield + self._quantum - t.time:
+            return None
+        arr = np.asarray(addrs, dtype=np.int64)
+        if len(np.unique(arr)) != n:
+            return None
+        pages = self._fp_pages
+        vpns = arr // self._page_size
+        uvpns = np.unique(vpns).tolist()
+        for vpn in uvpns:
+            entry = pages.get(vpn)
+            if (entry is None or not entry[1]) and self._fp_resolve_write(
+                vpn
+            ) is None:
+                return None
+        lines = arr // self._line_size
+        wlines = self._fp_wlines
+        unknown = [
+            line for line in np.unique(lines).tolist() if line not in wlines
+        ]
+        if unknown and not self._cache.hit_lines(
+            self.cluster, self.pid, unknown, True
+        ):
+            return None
+        wlines.update(unknown)
+        self._cache_counts[0] += n
+        self._fp_hits += n
+        cost = n * whit
+        t.time += cost
+        t.user += cost
+        vals = np.asarray(values, dtype=np.float64)
+        widx = (arr % self._page_size) // WORD_BYTES
+        if len(uvpns) == 1:
+            pages[uvpns[0]][0][widx] = vals
+        else:
+            for vpn in uvpns:
+                sel = vpns == vpn
+                pages[vpn][0][widx[sel]] = vals[sel]
+        return True
+
+    def _write_many_fast(
+        self, addrs: Iterable[int], values: Sequence[float], ptr: bool = False
+    ):
+        """Store several shared words in one call.
+
+        Usage: ``yield from env.write_many((a0, a1), (v0, v1))``.
+        Equivalent — cycle for cycle, fault for fault, pause for pause —
+        to a sequence of ``env.write`` calls over ``(addrs, values)``
+        pairs, but resolves the whole scatter inside one generator.
+        Batches long enough to amortize the setup first try the all-hit
+        vector path (:meth:`_write_vector`); anything it cannot prove
+        conflict-free falls through to the per-word loop untouched.
+        """
+        t = self._t
+        if not isinstance(addrs, (tuple, list)):
+            addrs = tuple(addrs)
+        if len(addrs) >= _VEC_MIN_ADDRS:
+            done = self._write_vector(
+                addrs, values, len(addrs), self._tp if ptr else self._ta
+            )
+            if done is not None:
+                return
+        pages = self._fp_pages
+        wlines = self._fp_wlines
+        access = self._cache.access
+        counts = self._cache_counts
+        cluster = self.cluster
+        pid = self.pid
+        page_size = self._page_size
+        line_size = self._line_size
+        quantum = self._quantum
+        hit_cost = self._hit_cost
+        tcost = self._tp if ptr else self._ta
+        ttime = t.time
+        tuser = t.user
+        for addr, value in zip(addrs, values):
+            ttime += tcost
+            tuser += tcost
+            entry = pages.get(addr // page_size)
+            if entry is None or not entry[1]:
+                t.time = ttime
+                t.user = tuser
+                entry = yield from self._fp_load_write(addr // page_size)
+                ttime = t.time
+                tuser = t.user
+            line = addr // line_size
+            if line in wlines:
+                counts[0] += 1
+                self._fp_hits += 1
+                ttime += hit_cost
+                tuser += hit_cost
+            else:
+                cost = access(cluster, pid, line, True, entry[2])
+                wlines.add(line)
+                ttime += cost
+                tuser += cost
+            # Stores land before a pause, as env.write does.
+            entry[0][(addr % page_size) // WORD_BYTES] = value
+            if ttime - t.last_yield > quantum:
+                t.time = ttime
+                t.user = tuser
+                yield ("pause",)
+                self._fp_reset()
+                ttime = t.time
+                tuser = t.user
+        t.time = ttime
+        t.user = tuser
+
     def _read_block_fast(self, addr: int, nwords: int, ptr: bool = False):
         """Load ``nwords`` consecutive shared words starting at ``addr``.
 
@@ -683,6 +843,61 @@ class Env:
         t.user = tuser
         return out
 
+    def _write_block_vector(
+        self, addr: int, values: Sequence[float], n: int, tcost: int
+    ):
+        """All-hit aggregate store of a whole contiguous block; None →
+        caller runs the chunked loop.
+
+        The contiguous sibling of :meth:`_write_vector`: every touched
+        page write-resolved, every line in ``[first, last]`` a
+        guaranteed write hit, the whole charge inside the quantum —
+        then one aggregate charge and one contiguous slice store per
+        page, with no per-chunk probing at all.
+        """
+        t = self._t
+        whit = tcost + self._hit_cost
+        if n * whit > t.last_yield + self._quantum - t.time:
+            return None
+        page_size = self._page_size
+        pages = self._fp_pages
+        last_addr = addr + (n - 1) * WORD_BYTES
+        for vpn in range(addr // page_size, last_addr // page_size + 1):
+            entry = pages.get(vpn)
+            if (entry is None or not entry[1]) and self._fp_resolve_write(
+                vpn
+            ) is None:
+                return None
+        line_size = self._line_size
+        wlines = self._fp_wlines
+        unknown = [
+            line
+            for line in range(addr // line_size, last_addr // line_size + 1)
+            if line not in wlines
+        ]
+        if unknown and not self._cache.hit_lines(
+            self.cluster, self.pid, unknown, True
+        ):
+            return None
+        wlines.update(unknown)
+        self._cache_counts[0] += n
+        self._fp_hits += n
+        cost = n * whit
+        t.time += cost
+        t.user += cost
+        vi = 0
+        end = addr + n * WORD_BYTES
+        while addr < end:
+            vpn = addr // page_size
+            page_end = (vpn + 1) * page_size
+            chunk_end = page_end if page_end < end else end
+            m = (chunk_end - addr) // WORD_BYTES
+            w0 = (addr % page_size) // WORD_BYTES
+            pages[vpn][0][w0 : w0 + m] = values[vi : vi + m]
+            vi += m
+            addr = chunk_end
+        return True
+
     def _write_block_fast(
         self, addr: int, values: Sequence[float], ptr: bool = False
     ):
@@ -690,8 +905,17 @@ class Env:
 
         Usage: ``yield from env.write_block(a.addr(i), values)``.
         Equivalent to sequential ``env.write`` calls over ``values``,
-        with the same closed-form hit-run batching as ``read_block``.
+        with the same closed-form hit-run batching as ``read_block``,
+        plus an all-hit whole-block scatter preamble
+        (:meth:`_write_block_vector`) for blocks it can prove
+        conflict-free in one probe.
         """
+        if len(values) >= _VEC_MIN_ADDRS:
+            done = self._write_block_vector(
+                addr, values, len(values), self._tp if ptr else self._ta
+            )
+            if done is not None:
+                return
         t = self._t
         pages = self._fp_pages
         wlines = self._fp_wlines
@@ -900,6 +1124,12 @@ class Env:
             value = yield from self._read_slow(addr, ptr)
             out.append(value)
         return out
+
+    def _write_many_slow(
+        self, addrs: Iterable[int], values: Sequence[float], ptr: bool = False
+    ):
+        for addr, value in zip(addrs, values):
+            yield from self._write_slow(addr, value, ptr)
 
     def _read_block_slow(self, addr: int, nwords: int, ptr: bool = False):
         return (

@@ -72,6 +72,12 @@ class RunResult:
     message_flows: dict = field(default_factory=dict)
     #: fault/release transaction latency percentiles (p50/p95/max)
     transactions: dict = field(default_factory=dict)
+    #: phase-replay activity: phases replayed/recorded this run, plus
+    #: persistent replay-store traffic (loads/hits/stores) when a store
+    #: was attached.  Reporting only — deliberately *excluded* from the
+    #: run-cache payload so a replay-warm run stays byte-identical to a
+    #: cold one (``metrics.export`` publishes it; the cache does not).
+    replay_cache: dict = field(default_factory=dict)
 
     def breakdown(self) -> dict[str, float]:
         """Average per-processor cycle breakdown (the paper's bars).
@@ -112,6 +118,7 @@ class Runtime:
         fastpath: bool | None = None,
         analysis=None,
         replay: bool | None = None,
+        replay_store=None,
     ) -> None:
         self.config = config
         self.costs = costs if costs is not None else CostModel()
@@ -122,6 +129,11 @@ class Runtime:
         self.replay = (
             replay_enabled_default() if replay is None else bool(replay)
         )
+        # Persistent replay store: a ReplayStore instance, True/False to
+        # force on/off, or None to let REPRO_REPLAY_CACHE[_DIR] decide
+        # (resolved lazily by the phased driver — see
+        # repro.bench.cache.resolve_replay_store).
+        self.replay_store = replay_store
         self.sim = Simulator()
         self.machine = Machine(self.sim, config, self.costs)
         self.aspace = AddressSpace(config)
@@ -247,6 +259,47 @@ class Runtime:
         for pid in range(self.config.total_processors):
             self.threads.append(ThreadContext(pid=pid, gen=None))  # type: ignore[arg-type]
 
+    def spawn_epochs(
+        self,
+        factory: Callable[[Env, int], object],
+        epochs: int,
+        keys: list | None = None,
+    ) -> None:
+        """Run a non-phased application as a sequence of epochs —
+        replay below barrier granularity.
+
+        The phased driver never required a literal barrier at a
+        boundary, only *quiescence*: every generator exhausted and the
+        event heap drained.  Any program point with that property — the
+        end of an outer loop iteration closed by its own lock releases,
+        a super-quantum of uniform per-thread work — is therefore a
+        legal replay boundary.  ``spawn_epochs`` exposes exactly that:
+        it is :meth:`spawn_phases` under a name that makes the
+        epoch-granularity contract explicit, and it shares all of its
+        machinery, digesting the full machine state (thread skews, TLB,
+        line directory, locks, handler/interconnect occupancy, engine
+        pages) at every epoch boundary.
+
+        An epoch whose execution proves state-idempotent — matmul
+        recomputing an identical product, TSP re-walking a settled
+        search — is recorded once and replayed in closed form on every
+        later occurrence of its digest, in this run or (with the replay
+        store) any other.  Epochs that change state simply execute;
+        correctness never depends on the app's idempotence claim.  The
+        same auto-disable rules apply (faults, transport, analysis
+        checkers, ``REPRO_NO_REPLAY``).
+
+        Args:
+            factory: ``(env, epoch_index) -> generator``, fresh per
+                (processor, epoch).
+            epochs: number of epochs to run.
+            keys: optional per-epoch replay keys; epochs replay only
+                when their key *and* machine-state digest coincide, so
+                give structurally different epochs (e.g. a drain/
+                epilogue) distinct keys.
+        """
+        self.spawn_phases(factory, epochs, keys=keys)
+
     def annotate_benign_race(
         self, addr: int, words: int = 1, reason: str = ""
     ) -> None:
@@ -315,9 +368,15 @@ class Runtime:
     def _run_phased(self, max_events: int | None) -> RunResult:
         recorder = None
         if self._replay_active():
+            # Lazy import: the store lives with the other persistent
+            # caches in repro.bench (which imports repro.runtime at
+            # module level — this direction must stay deferred).
+            from repro.bench.cache import resolve_replay_store
             from repro.runtime.replay import PhaseRecorder
 
-            recorder = PhaseRecorder(self)
+            recorder = PhaseRecorder(
+                self, store=resolve_replay_store(self.replay_store)
+            )
         self.phase_recorder = recorder
         for index in range(self._phase_count):
             base = min(t.time for t in self.threads)
@@ -330,7 +389,7 @@ class Runtime:
                 digested = recorder.state_digest(self._phase_keys[index])
                 if digested is not None:
                     digest = digested[0]
-                    rec = recorder.records.get(digest)
+                    rec = recorder.lookup(digest)
                     if rec is not None:
                         recorder.apply(rec)
                         continue
@@ -363,6 +422,7 @@ class Runtime:
             lock_stats.acquires += lk.stats.acquires
             lock_stats.hits += lk.stats.hits
             lock_stats.token_transfers += lk.stats.token_transfers
+        recorder = self.phase_recorder
         return RunResult(
             config=self.config,
             total_time=total,
@@ -375,6 +435,9 @@ class Runtime:
             network_stats=self.machine.network_summary(),
             message_flows=self.protocol.bus.flow_summary(),
             transactions=self.protocol.bus.transaction_summary(),
+            replay_cache=(
+                recorder.cache_summary() if recorder is not None else {}
+            ),
         )
 
     # ------------------------------------------------------------------

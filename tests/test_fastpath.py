@@ -1,8 +1,9 @@
 """The fast-path access engine is invisible except for wall-clock.
 
 ``Env`` binds ``read``/``write``/``read_block``/``write_block``/
-``read_many`` to either the fast or the slow implementations depending
-on ``Runtime.fastpath``.  These tests pin the contract:
+``read_many``/``write_many`` to either the fast or the slow
+implementations depending on ``Runtime.fastpath``.  These tests pin the
+contract:
 
 * the batched block/many APIs charge exactly the same cycles as the
   equivalent loop of single-word accesses (same thread clocks, same
@@ -184,6 +185,114 @@ def _writer_loop(arr, nwords, captured):
 def test_write_block_equals_write_loop():
     _assert_equivalent(_writer_block, _writer_loop)
     _assert_equivalent(_writer_block, _writer_loop, quantum=97)
+
+
+def _scatter_plan(env, nwords):
+    """Disjoint per-pid write targets: a permutation of the worker's own
+    stripe, then (after a barrier) a scatter into the stripe of a worker
+    in the *other* cluster — so the vectorized path sees both the all-hit
+    case and cross-cluster ownership faults.  Strides 5 and 3 are coprime
+    to the stripe length, so no worker ever writes a word twice and no
+    two workers ever write the same word in the same phase."""
+    per = nwords // env.nprocs
+    base = env.pid * per
+    own = tuple(base + (5 * k) % per for k in range(per))
+    victim = ((env.pid + 2) % env.nprocs) * per
+    cross = tuple(victim + (3 * k) % per for k in range(per // 2))
+    return own, cross
+
+
+def _readback(arr, nwords, env, captured):
+    per = nwords // env.nprocs
+    got = yield from env.read_block(arr.addr(env.pid * per), per)
+    captured.append((env.pid, got))
+
+
+def _writer_many(arr, nwords, captured):
+    def worker(env):
+        own, cross = _scatter_plan(env, nwords)
+        yield from env.write_many(
+            tuple(arr.addr(w) for w in own),
+            [float(env.pid * 1000 + i) for i in range(len(own))],
+        )
+        yield from env.barrier()
+        yield from env.write_many(
+            tuple(arr.addr(w) for w in cross),
+            [float(env.pid * 77 + i) for i in range(len(cross))],
+        )
+        yield from env.barrier()
+        yield from _readback(arr, nwords, env, captured)
+        yield from env.barrier()
+
+    return worker
+
+
+def _writer_many_loop(arr, nwords, captured):
+    def worker(env):
+        own, cross = _scatter_plan(env, nwords)
+        for i, w in enumerate(own):
+            yield from env.write(arr.addr(w), float(env.pid * 1000 + i))
+        yield from env.barrier()
+        for i, w in enumerate(cross):
+            yield from env.write(arr.addr(w), float(env.pid * 77 + i))
+        yield from env.barrier()
+        yield from _readback(arr, nwords, env, captured)
+        yield from env.barrier()
+
+    return worker
+
+
+def test_write_many_equals_write_loop():
+    _assert_equivalent(_writer_many, _writer_many_loop)
+
+
+def test_write_many_equals_write_loop_with_tiny_quantum():
+    # quantum 97 pauses inside nearly every scatter: the budget bail in
+    # the vector path and the store-before-pause ordering both fire.
+    _assert_equivalent(_writer_many, _writer_many_loop, quantum=97)
+
+
+def _dup_plan(env, nwords):
+    """Own-stripe scatter where the tail re-targets earlier words: the
+    vector path must bail (numpy fancy assignment has no last-wins
+    guarantee) and the per-word order defines the final data."""
+    per = nwords // env.nprocs
+    base = env.pid * per
+    addrs = tuple(base + (5 * k) % per for k in range(per)) + tuple(
+        base + k for k in range(6)
+    )
+    return addrs
+
+
+def _writer_many_dup(arr, nwords, captured):
+    def worker(env):
+        addrs = _dup_plan(env, nwords)
+        yield from env.write_many(
+            tuple(arr.addr(w) for w in addrs),
+            [float(env.pid * 31 + i) for i in range(len(addrs))],
+        )
+        yield from env.barrier()
+        yield from _readback(arr, nwords, env, captured)
+        yield from env.barrier()
+
+    return worker
+
+
+def _writer_many_dup_loop(arr, nwords, captured):
+    def worker(env):
+        addrs = _dup_plan(env, nwords)
+        for i, w in enumerate(addrs):
+            yield from env.write(arr.addr(w), float(env.pid * 31 + i))
+        yield from env.barrier()
+        yield from _readback(arr, nwords, env, captured)
+        yield from env.barrier()
+
+    return worker
+
+
+def test_write_many_duplicate_addresses_are_last_wins():
+    _assert_equivalent(_writer_many_dup, _writer_many_dup_loop)
+    _assert_equivalent(_writer_many_dup, _writer_many_dup_loop, quantum=97)
 
 
 def test_written_values_are_the_values_read_back():

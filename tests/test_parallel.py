@@ -26,6 +26,27 @@ def _maybe_boom(x):
     return x * 10
 
 
+def _replay_store_root():
+    """Worker-side view of the env-resolved replay store (None when off)."""
+    from repro.bench.cache import resolve_replay_store
+
+    store = resolve_replay_store(None)
+    return None if store is None else str(store.root)
+
+
+def _scanphase_replay_point():
+    """One persistent-replay-eligible scanphase point; replay counters."""
+    from repro.apps import scanphase
+    from repro.params import MachineConfig
+
+    run = scanphase.run(
+        MachineConfig(total_processors=4, cluster_size=2),
+        scanphase.ScanPhaseParams(words=256, phases=6, window=16),
+    )
+    assert run.valid
+    return run.result.replay_cache
+
+
 # ---------------------------------------------------------------------------
 # resolve_jobs
 # ---------------------------------------------------------------------------
@@ -161,6 +182,44 @@ def test_env_snapshot_reaches_long_lived_workers(fresh_pool, monkeypatch):
     # Removal must propagate too: the workers forked while it was set.
     monkeypatch.delenv(key)
     assert parallel_map(_read_env, [(key,), (key,)], jobs=2) == [None, None]
+
+
+def test_pool_warmed_with_replay_off_honors_replay_on_jobs(
+    fresh_pool, monkeypatch, tmp_path
+):
+    """A worker's replay-store state must track the per-job env snapshot.
+
+    Regression: module-level store state derived from ``REPRO_*`` at
+    first use, if not keyed by the env values, would let a pool warmed
+    under ``REPRO_NO_REPLAY=1`` keep serving "replay off" to a later
+    replay-on job (and vice versa, a stale store directory).
+    """
+    store_dir = tmp_path / "rc"
+    monkeypatch.setenv("REPRO_NO_REPLAY", "1")
+    monkeypatch.delenv("REPRO_REPLAY_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_REPLAY_CACHE_DIR", raising=False)
+    # Warm the pool (and each worker's env-derived module state) with
+    # replay globally off: no store resolves.
+    assert parallel_map(_replay_store_root, [(), ()], jobs=2) == [None, None]
+
+    # Flip the environment: replay on, persistent store at store_dir.
+    monkeypatch.delenv("REPRO_NO_REPLAY")
+    monkeypatch.setenv("REPRO_REPLAY_CACHE_DIR", str(store_dir))
+    assert parallel_map(_replay_store_root, [(), ()], jobs=2) == [
+        str(store_dir),
+        str(store_dir),
+    ]
+
+    # And a real replay-on job must record into the store through the
+    # warmed (previously replay-off) workers.
+    counters = parallel_map(_scanphase_replay_point, [()], jobs=2)[0]
+    assert counters["replayed"] > 0
+    assert counters["stores"] >= 1
+    assert any(store_dir.rglob("*.json"))
+
+    # Flip back off: the same workers must stop resolving a store.
+    monkeypatch.setenv("REPRO_NO_REPLAY", "1")
+    assert parallel_map(_replay_store_root, [(), ()], jobs=2) == [None, None]
 
 
 def test_errors_raise_lowest_input_index(fresh_pool):

@@ -26,6 +26,9 @@ ENGINES = engine_names()
 PAPER_APPS = {
     "jacobi": (jacobi, jacobi.JacobiParams(n=16, iterations=4)),
     "matmul": (matmul, matmul.MatmulParams(n=8)),
+    # Iterative (epoch-granularity) variant: passes replay without
+    # barriers between them (Runtime.spawn_epochs).
+    "matmul-iter": (matmul, matmul.MatmulParams(n=8, iterations=4)),
     "tsp": (tsp, tsp.TSPParams(ncities=6)),
     "water": (water, water.WaterParams(n_molecules=9, iterations=1)),
     "barnes-hut": (
@@ -93,11 +96,24 @@ def test_replay_equivalence_and_fires_scanphase(engine):
         assert on[key] == off[key], f"{engine}: replay changed {key}"
 
 
+def test_matmul_epoch_replay_fires():
+    """A non-phased (no inter-pass barrier) app collapses under epoch
+    replay: pass 0 installs, pass 1 records, later passes replay."""
+    config = MachineConfig(total_processors=4, cluster_size=2)
+    run = matmul.run(
+        config, matmul.MatmulParams(n=8, iterations=5), replay=True
+    ).require_valid()
+    assert run.result.replay_cache["replayed"] > 0
+    assert run.result.replay_cache["recorded"] >= 1
+
+
 def test_scanphase_validates_under_replay():
     config = MachineConfig(total_processors=4, cluster_size=2)
     run = scanphase.run(config, SCAN_PARAMS).require_valid()
-    assert run.aux["replayed"] > 0
-    assert run.aux["recorded"] >= 1
+    # Counters live in result.replay_cache (never in aux, which the run
+    # cache serializes and must stay identical cold vs. replay-warm).
+    assert run.result.replay_cache["replayed"] > 0
+    assert run.result.replay_cache["recorded"] >= 1
 
 
 def test_no_replay_env_escape_hatch(monkeypatch):
