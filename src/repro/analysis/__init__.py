@@ -1,6 +1,6 @@
 """repro.analysis: protocol checkers for the MGS reproduction.
 
-Three cooperating, default-off tools (see docs/ANALYSIS.md):
+Cooperating, default-off tools (see docs/ANALYSIS.md):
 
 * :class:`InvariantSanitizer` — validates every bus message and the
   protocol state it acts on against the legal arcs of docs/PROTOCOL.md;
@@ -10,6 +10,10 @@ Three cooperating, default-off tools (see docs/ANALYSIS.md):
   :meth:`RaceDetector.certify` raises :class:`RaceError` on races.
 * :mod:`repro.analysis.lint` — a static determinism pass, runnable as
   ``python -m repro.analysis.lint``.
+* :mod:`repro.analysis.explore` — a bounded model checker enumerating
+  *every* interleaving of a small threaded program over each engine,
+  plus a hypothesis stateful walk; runnable as ``repro analyze``.
+  (Imported lazily — it pulls in the tracer and hypothesis.)
 
 Enable dynamically via ``Runtime(config, analysis=...)`` (accepts
 ``"invariants"``, ``"races"``, ``"all"``/``True``, or an
@@ -25,7 +29,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.analysis.invariants import InvariantSanitizer, InvariantViolation
-from repro.analysis.mutations import MUTATIONS, apply_mutation
+from repro.analysis.mutations import MUTATIONS, MutationSpec, apply_mutation
 from repro.analysis.races import Race, RaceDetector, RaceError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -36,6 +40,7 @@ __all__ = [
     "InvariantSanitizer",
     "InvariantViolation",
     "MUTATIONS",
+    "MutationSpec",
     "Race",
     "RaceDetector",
     "RaceError",

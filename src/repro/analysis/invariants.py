@@ -172,3 +172,22 @@ class InvariantSanitizer:
                 txn=stuck[0],
             )
         self.rules.check_quiescent()
+
+    # ------------------------------------------------------------------
+    # whole-state sweep (explorer only)
+    # ------------------------------------------------------------------
+
+    def check_state(self, inflight) -> None:
+        """Validate one snapshot of protocol state + in-flight messages.
+
+        Called by the bounded model checker
+        (:mod:`repro.analysis.explore`) after every simulator event, with
+        the ordered tuple of undelivered protocol messages it extracted
+        from the event queue.  Engines express queue-aware invariants in
+        :meth:`~repro.core.engine.ArcRules.check_state` — relations the
+        live sanitizer cannot observe because it never sees undelivered
+        messages.
+        """
+        if self.protocol.hw_bypass:
+            return
+        self.rules.check_state(inflight)

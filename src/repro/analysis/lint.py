@@ -26,6 +26,11 @@ enforces the source-level rules that determinism silently rests on:
   ``REQUIRED_LABELS`` tuple whose labels exactly match the package's
   ``@handles`` registrations (the static mirror of
   ``Protocol.bus_handlers`` / ``Protocol.check_bus``).
+* ``arc-coverage`` — every engine package that registers bus handlers
+  must ship an :class:`ArcRules` subclass whose literal ``_CHECKS``
+  table names each label the package's ``@handles`` decorators
+  register: a message the sanitizer cannot validate is a message the
+  explorer cannot police either.
 
 Run it as::
 
@@ -44,7 +49,7 @@ from pathlib import Path
 from typing import Iterable
 
 __all__ = ["Finding", "lint_paths", "lint_source", "check_handler_coverage",
-           "check_engine_handlers", "main"]
+           "check_engine_handlers", "check_arc_coverage", "main"]
 
 
 @dataclass(frozen=True)
@@ -530,6 +535,78 @@ def check_engine_handlers(
     return findings
 
 
+def _arc_check_labels(package_files: Iterable[Path]):
+    """The engine package's literal ``_CHECKS`` arc table.
+
+    Scans class bodies for an assignment ``_CHECKS = {...}`` with string
+    keys (the ``ArcRules`` dispatch table convention every engine's
+    ``arcs.py`` follows).  Returns ``(labels, path, line)`` or ``None``
+    when no module in the package declares one.
+    """
+    for path in package_files:
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                if not (
+                    isinstance(stmt, ast.Assign)
+                    and any(
+                        isinstance(t, ast.Name) and t.id == "_CHECKS"
+                        for t in stmt.targets
+                    )
+                    and isinstance(stmt.value, ast.Dict)
+                ):
+                    continue
+                labels = [
+                    key.value
+                    for key in stmt.value.keys
+                    if isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                ]
+                return labels, path, stmt.lineno
+    return None
+
+
+def check_arc_coverage(
+    protocols_dir: Path, messages_path: Path
+) -> list[Finding]:
+    """Per-engine arc rules: every registered label must have a check.
+
+    A message type the sanitizer has no arc check for is a blind spot —
+    the fuzz suite and the bounded model checker both dispatch through
+    the same ``_CHECKS`` table, so an uncovered label ships protocol
+    traffic no tool validates.  Engines fix findings by adding checks,
+    never by exempting labels.
+    """
+    name_to_value = _msgtype_values(messages_path)
+    findings = []
+    for package in sorted(p for p in protocols_dir.iterdir() if p.is_dir()):
+        files = sorted(package.rglob("*.py"))
+        if not files:
+            continue
+        class_labels = _class_label_table([messages_path, *files])
+        sites = _handles_label_sites(files, name_to_value, class_labels)
+        if not sites:
+            continue
+        declared = _arc_check_labels(files)
+        if declared is None:
+            findings.append(Finding(
+                str(package / "arcs.py"), 1, "arc-coverage",
+                f"engine package {package.name!r} registers bus handlers "
+                "but ships no ArcRules _CHECKS table",
+            ))
+            continue
+        labels, decl_path, decl_line = declared
+        for label in sorted(set(sites) - set(labels)):
+            findings.append(Finding(
+                str(decl_path), decl_line, "arc-coverage",
+                f"engine {package.name!r} registers a handler for label "
+                f"{label!r} with no arc check in its _CHECKS table",
+            ))
+    return findings
+
+
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
@@ -559,6 +636,9 @@ def lint_paths(paths: Iterable[Path]) -> list[Finding]:
         if protocols_dir.is_dir():
             findings.extend(
                 check_engine_handlers(protocols_dir, core_dir / "messages.py")
+            )
+            findings.extend(
+                check_arc_coverage(protocols_dir, core_dir / "messages.py")
             )
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings

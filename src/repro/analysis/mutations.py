@@ -2,10 +2,13 @@
 
 Each mutation deliberately breaks one protocol rule the way a real bug
 would — a handler forgetting a bookkeeping step, a message dropped, an
-acknowledgement duplicated — by wrapping the live bus handlers or engine
-methods of a runtime.  ``tests/test_analysis_mutations.py`` asserts the
-:class:`~repro.analysis.invariants.InvariantSanitizer` catches every one
-(either mid-run, at message delivery, or in the quiescence sweep).
+acknowledgement duplicated, a diff silently emptied — by wrapping the
+live bus handlers or engine methods of a runtime.
+``tests/test_analysis_mutations.py`` asserts the
+:class:`~repro.analysis.invariants.InvariantSanitizer` (or, for the
+data-staleness corruptions only the explorer's release-consistency
+oracle can see, :func:`repro.analysis.explore.explore`) catches every
+one.
 
 Usage::
 
@@ -14,17 +17,29 @@ Usage::
     ... drive the protocol ...
     rt.sanitizer.check_quiescent()   # raises InvariantViolation
 
-The registry maps mutation name -> (description, applier).
+The registry maps mutation name -> :class:`MutationSpec`; each spec is
+tagged with the engine it corrupts, and :func:`apply_mutation` refuses
+to apply a mutation to a runtime driving a different engine.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.runner import Runtime
 
-__all__ = ["MUTATIONS", "apply_mutation"]
+__all__ = ["MutationSpec", "MUTATIONS", "apply_mutation"]
+
+
+@dataclass(frozen=True)
+class MutationSpec:
+    """One seeded corruption: which engine it targets, what it breaks."""
+
+    engine: str
+    description: str
+    applier: Callable[["Runtime"], None]
 
 
 def _wrap_handler(rt: "Runtime", label: str, wrapper: Callable) -> None:
@@ -32,6 +47,11 @@ def _wrap_handler(rt: "Runtime", label: str, wrapper: Callable) -> None:
     handlers = rt.protocol.bus._handlers
     original = handlers[label]
     handlers[label] = lambda msg: wrapper(original, msg)
+
+
+# ---------------------------------------------------------------------------
+# mgs
+# ---------------------------------------------------------------------------
 
 
 def _skip_pinv_ack(rt: "Runtime") -> None:
@@ -109,37 +129,179 @@ def _dir_exclusion(rt: "Runtime") -> None:
     _wrap_handler(rt, "RDAT", wrapper)
 
 
-MUTATIONS: dict[str, tuple[str, Callable[["Runtime"], None]]] = {
-    "skip_pinv_ack": (
+# ---------------------------------------------------------------------------
+# swdsm
+# ---------------------------------------------------------------------------
+
+
+def _swdsm_stale_diff(rt: "Runtime") -> None:
+    """Count an invalidation acknowledgement but drop the diff it
+    carried: the stolen writes silently vanish from the home copy."""
+
+    def wrapper(original, msg):
+        if msg.indices is not None and len(msg.indices):
+            import dataclasses
+
+            msg = dataclasses.replace(
+                msg, indices=msg.indices[:0], values=msg.values[:0]
+            )
+        original(msg)
+
+    _wrap_handler(rt, "S_IACK", wrapper)
+
+
+def _swdsm_lost_iack(rt: "Runtime") -> None:
+    """Swallow the first S_IACK: the invalidation round never closes
+    and the release behind it hangs forever."""
+    state = {"dropped": False}
+
+    def wrapper(original, msg):
+        if not state["dropped"]:
+            state["dropped"] = True
+            return
+        original(msg)
+
+    _wrap_handler(rt, "S_IACK", wrapper)
+
+
+# ---------------------------------------------------------------------------
+# sc_pages
+# ---------------------------------------------------------------------------
+
+
+def _sc_shared_writer(rt: "Runtime") -> None:
+    """Leave the exclusive-grant target registered as a *reader* too:
+    the single-writer exclusion between the directories is broken."""
+
+    def wrapper(original, msg):
+        original(msg)
+        home = rt.protocol.homes.get(msg.vpn)
+        if home is not None:
+            home.read_dir.add(msg.dst_cluster)
+
+    _wrap_handler(rt, "SC_WGRANT", wrapper)
+
+
+def _sc_lost_wb(rt: "Runtime") -> None:
+    """Swallow the first SC_WB: the coherence round waiting on the
+    downgraded writer's writeback never completes."""
+    state = {"dropped": False}
+
+    def wrapper(original, msg):
+        if not state["dropped"]:
+            state["dropped"] = True
+            return
+        original(msg)
+
+    _wrap_handler(rt, "SC_WB", wrapper)
+
+
+# ---------------------------------------------------------------------------
+# gcs
+# ---------------------------------------------------------------------------
+
+
+def _gcs_dropped_write_notice(rt: "Runtime") -> None:
+    """Skip the acquire-time staleness scan: write notices are lost, so
+    stale replicas survive the acquire and reads see old data."""
+    protocol = rt.protocol
+
+    def acquire(pid, on_done):
+        txn = protocol.bus.begin("acquire", pid)
+
+        def finish():
+            protocol.bus.end(txn)
+            on_done()
+
+        protocol.sim.schedule(1, finish)
+
+    protocol.acquire = acquire
+
+
+def _gcs_stale_version(rt: "Runtime") -> None:
+    """Forget to persist the version bump a diff produced: the releaser
+    ends up believing it is *ahead* of the home."""
+
+    def wrapper(original, msg):
+        original(msg)
+        rt.protocol.versions[msg.vpn] -= 1
+
+    _wrap_handler(rt, "G_DIFF", wrapper)
+
+
+MUTATIONS: dict[str, MutationSpec] = {
+    "skip_pinv_ack": MutationSpec(
+        "mgs",
         "swallow a PINV_ACK so a release round never completes",
         _skip_pinv_ack,
     ),
-    "forget_directory_refill": (
+    "forget_directory_refill": MutationSpec(
+        "mgs",
         "grant a write copy without recording it in write_dir",
         _forget_directory_refill,
     ),
-    "drop_twin": (
+    "drop_twin": MutationSpec(
+        "mgs",
         "lose the twin of a write copy",
         _drop_twin,
     ),
-    "leak_duq": (
+    "leak_duq": MutationSpec(
+        "mgs",
         "leave a DUQ entry behind after its TLB shootdown",
         _leak_duq,
     ),
-    "double_rack": (
+    "double_rack": MutationSpec(
+        "mgs",
         "acknowledge every REL twice",
         _double_rack,
     ),
-    "dir_exclusion": (
+    "dir_exclusion": MutationSpec(
+        "mgs",
         "record a read grant in both directories",
         _dir_exclusion,
+    ),
+    "swdsm_stale_diff": MutationSpec(
+        "swdsm",
+        "drop the diff an invalidation acknowledgement carried",
+        _swdsm_stale_diff,
+    ),
+    "swdsm_lost_iack": MutationSpec(
+        "swdsm",
+        "swallow an S_IACK so the invalidation round never closes",
+        _swdsm_lost_iack,
+    ),
+    "sc_shared_writer": MutationSpec(
+        "sc_pages",
+        "register the exclusive writer as a reader too",
+        _sc_shared_writer,
+    ),
+    "sc_lost_wb": MutationSpec(
+        "sc_pages",
+        "swallow an SC_WB so the coherence round never completes",
+        _sc_lost_wb,
+    ),
+    "gcs_dropped_write_notice": MutationSpec(
+        "gcs",
+        "skip the acquire staleness scan (write notices lost)",
+        _gcs_dropped_write_notice,
+    ),
+    "gcs_stale_version": MutationSpec(
+        "gcs",
+        "forget the version bump a diff produced",
+        _gcs_stale_version,
     ),
 }
 
 
 def apply_mutation(rt: "Runtime", name: str) -> str:
     """Apply one named corruption to a live runtime; returns its
-    description."""
-    description, applier = MUTATIONS[name]
-    applier(rt)
-    return description
+    description.  Refuses engines the mutation does not target."""
+    spec = MUTATIONS[name]
+    engine = rt.config.protocol
+    if engine != spec.engine:
+        raise ValueError(
+            f"mutation {name!r} targets engine {spec.engine!r}, "
+            f"not {engine!r}"
+        )
+    spec.applier(rt)
+    return spec.description

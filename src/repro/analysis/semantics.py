@@ -1,0 +1,165 @@
+"""Release-consistency read legality via vector clocks.
+
+The explorer (:mod:`repro.analysis.explore`) drives protocol engines
+with a tiny program vocabulary — reads, writes, a lock, a barrier — and
+needs an engine-independent oracle for what each read is *allowed* to
+return.  This module is that oracle: a happens-before tracker in the
+style of the race detector, but judging **values** instead of flagging
+races.
+
+Model
+-----
+Every write deposits a globally unique value together with the writer's
+vector clock at the moment of the write.  Synchronization transfers
+clocks exactly the way release consistency defines it:
+
+* ``release(thread, key)`` joins the thread's clock into the sync
+  object's clock (a lock handoff or a barrier episode);
+* ``acquire(thread, key)`` joins the sync object's clock back into the
+  thread.
+
+A read by thread ``t`` is legal iff it returns
+
+* the value of a happens-before **maximal** write among those ordered
+  before the read (there may be several maximal writes — concurrent
+  writers — and any of them is acceptable), or
+* the value of any write **concurrent** with the read (no engine is
+  required to have propagated it yet, nor forbidden from having done
+  so), or
+* the initial value, but only when *no* write is ordered before the
+  read.
+
+This is deliberately the weakest sound contract: every engine in the
+registry (eager MGS/SWDSM, sequentially-consistent pages, lazy GCS)
+promises at least this much, so a violation is a real protocol bug on
+any of them, never a false positive from modeling an engine stronger
+than it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "INITIAL_VALUE",
+    "WriteEvent",
+    "MemoryModel",
+    "vc_leq",
+]
+
+#: value every page word starts with (fresh arrays are zeroed)
+INITIAL_VALUE = 0.0
+
+
+def vc_leq(a: tuple[int, ...], b: tuple[int, ...]) -> bool:
+    """Pointwise ``<=`` on vector clocks (``a`` happens-before-or-equals ``b``)."""
+    return all(x <= y for x, y in zip(a, b))
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """One recorded write: who wrote what, under which clock."""
+
+    thread: int
+    value: float
+    vc: tuple[int, ...]
+
+
+class MemoryModel:
+    """Happens-before bookkeeping for one explored execution.
+
+    ``nthreads`` is the number of *logical* threads the explorer drives;
+    clocks are dense tuples indexed by thread.  Sync objects (the lock,
+    each barrier episode) are named by an arbitrary hashable ``key``.
+    """
+
+    def __init__(self, nthreads: int) -> None:
+        self.nthreads = nthreads
+        self._clocks: list[list[int]] = [
+            [0] * nthreads for _ in range(nthreads)
+        ]
+        self._sync: dict[object, list[int]] = {}
+        #: (vpn, word) -> ordered list of WriteEvents
+        self._history: dict[tuple[int, int], list[WriteEvent]] = {}
+
+    # -- clock plumbing -------------------------------------------------
+
+    def clock(self, thread: int) -> tuple[int, ...]:
+        return tuple(self._clocks[thread])
+
+    def _tick(self, thread: int) -> None:
+        self._clocks[thread][thread] += 1
+
+    def acquire(self, thread: int, key: object) -> None:
+        """Thread observed a release on ``key`` (lock grant, barrier exit)."""
+        vc = self._sync.get(key)
+        if vc is not None:
+            own = self._clocks[thread]
+            for i, v in enumerate(vc):
+                if v > own[i]:
+                    own[i] = v
+        self._tick(thread)
+
+    def release(self, thread: int, key: object) -> None:
+        """Thread published its history on ``key`` (unlock, barrier entry)."""
+        vc = self._sync.setdefault(key, [0] * self.nthreads)
+        for i, v in enumerate(self._clocks[thread]):
+            if v > vc[i]:
+                vc[i] = v
+        self._tick(thread)
+
+    def barrier(self, threads: list[int], episode: int) -> None:
+        """All-to-all join for one barrier episode."""
+        key = ("barrier", episode)
+        for t in threads:
+            self.release(t, key)
+        for t in threads:
+            self.acquire(t, key)
+
+    # -- reads and writes ----------------------------------------------
+
+    def write(self, thread: int, vpn: int, word: int, value: float) -> None:
+        self._tick(thread)
+        self._history.setdefault((vpn, word), []).append(
+            WriteEvent(thread, value, self.clock(thread))
+        )
+
+    def legal_values(self, thread: int, vpn: int, word: int) -> set[float]:
+        """The set of values a read by ``thread`` may legally return."""
+        reader = self.clock(thread)
+        writes = self._history.get((vpn, word), ())
+        before = [w for w in writes if vc_leq(w.vc, reader)]
+        legal = {w.value for w in writes if not vc_leq(w.vc, reader)}
+        for w in before:
+            if not any(
+                w2 is not w and vc_leq(w.vc, w2.vc) for w2 in before
+            ):
+                legal.add(w.value)
+        if not before:
+            legal.add(INITIAL_VALUE)
+        return legal
+
+    def read(self, thread: int, vpn: int, word: int) -> None:
+        """Account a read as an event (no legality check here)."""
+        self._tick(thread)
+
+    # -- canonical digest ----------------------------------------------
+
+    def state(self) -> tuple:
+        """Hashable snapshot for the explorer's frontier dedup."""
+        return (
+            tuple(tuple(c) for c in self._clocks),
+            tuple(
+                sorted(
+                    (repr(key), tuple(c))
+                    for key, c in self._sync.items()
+                    if any(c)
+                )
+            ),
+            tuple(
+                sorted(
+                    (loc, tuple((w.thread, w.value, w.vc) for w in ws))
+                    for loc, ws in self._history.items()
+                )
+            ),
+        )

@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli sweep water --protocol swdsm
     python -m repro.cli compare --apps jacobi,water --protocols mgs,swdsm
     python -m repro.cli serve --port 8642    # the HTTP daemon (repro.serve)
+    python -m repro.cli analyze explore --engine all   # bounded model checker
 
 Reports print to stdout in the same format the benchmark suite saves
 under ``results/``.
@@ -317,6 +318,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.compare import main as compare_main
 
         return compare_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        # And the state-space explorer / mutation benchmark.
+        from repro.analysis.explore import main as analyze_main
+
+        return analyze_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="Reproduce MGS (ISCA 1996) experiments"
     )

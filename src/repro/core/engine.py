@@ -92,6 +92,42 @@ class ArcRules:
     def check_quiescent(self) -> None:
         """Full-state leak sweep once the simulation has drained."""
 
+    def check_state(self, inflight) -> None:
+        """Whole-state invariants over protocol state *plus* the set of
+        in-flight messages.
+
+        Only the explorer (:mod:`repro.analysis.explore`) can call this:
+        the live sanitizer observes deliveries one at a time and never
+        sees the event queue, but the bounded model checker snapshots
+        every reachable state, so rules here may relate engine
+        bookkeeping to the messages still queued — "this shootdown
+        counter is non-zero, therefore an invalidation or its ack must
+        still be in flight".  ``inflight`` is the ordered tuple of
+        undelivered :class:`~repro.core.messages.ProtocolMessage`
+        objects.  The base rule, valid for every engine: the protocol
+        never has two byte-identical messages in flight at once (each
+        arc is a distinct request/reply; duplication is the transport's
+        business, below the bus).
+        """
+        seen: set[tuple] = set()
+        for m in inflight:
+            key = (
+                m.label,
+                m.vpn,
+                m.src_pid,
+                m.dst_pid,
+                m.txn,
+            )
+            if key in seen:
+                self.s.fail(
+                    "inflight-dup",
+                    f"two identical {m.label} messages in flight "
+                    f"p{m.src_pid}->p{m.dst_pid}",
+                    vpn=m.vpn,
+                    txn=m.txn,
+                )
+            seen.add(key)
+
 
 class Protocol:
     """Abstract coherence engine behind the runtime's shared memory.
@@ -204,6 +240,14 @@ class Protocol:
         grain (swdsm replicates per processor) override this.
         """
         return self.frames[self.config.cluster_of(pid)]
+
+    def frame(self, cluster: int, vpn: int):
+        """The frame replica ``cluster`` holds for ``vpn``, or None.
+
+        Observers (the tracer, arc rules) use this to peek at replicas
+        by index without knowing the engine's replication grain.
+        """
+        return self.frames[cluster].get(vpn)
 
     def bus_handlers(self) -> frozenset[str]:
         """The message labels this engine must have handlers for."""

@@ -27,6 +27,45 @@ class GCSArcRules(ArcRules):
     # per-message pre-state checks
     # ------------------------------------------------------------------
 
+    def _check_request(self, msg) -> None:
+        frame = self.protocol.frames[msg.src_cluster].get(msg.vpn)
+        if frame is None or frame.state is not FrameState.BUSY:
+            state = "absent" if frame is None else frame.state.value
+            self._fail(
+                "gcs-request",
+                f"{msg.label} from cluster {msg.src_cluster} but its "
+                f"frame is {state} (no fetch outstanding)",
+                msg,
+            )
+
+    def _check_diff(self, msg) -> None:
+        # Diffs travel only inside a release drain; the drain entry is
+        # registered before the diff is posted and cleared by the G_RACK
+        # that answers it.
+        if msg.src_pid not in self.protocol._drain:
+            self._fail(
+                "gcs-diff",
+                f"G_DIFF from proc {msg.src_pid} which has no release "
+                "drain awaiting an acknowledgement",
+                msg,
+            )
+        elif msg.indices is None or len(msg.indices) == 0:
+            self._fail(
+                "gcs-diff",
+                f"empty G_DIFF for vpn {msg.vpn} (empty diffs are "
+                "resolved locally, never posted)",
+                msg,
+            )
+
+    def _check_areq(self, msg) -> None:
+        if (msg.src_cluster, msg.vpn) not in self.protocol._refreshing:
+            self._fail(
+                "gcs-areq",
+                f"G_AREQ for vpn {msg.vpn} from cluster {msg.src_cluster} "
+                "with no acquire waiting on the refresh",
+                msg,
+            )
+
     def _check_grant(self, msg) -> None:
         frame = self.protocol.frames[msg.dst_cluster].get(msg.vpn)
         if frame is None or not frame.lock_held:
@@ -101,8 +140,12 @@ class GCSArcRules(ArcRules):
         self._check_version(msg)
 
     _CHECKS = {
+        "G_RREQ": _check_request,
+        "G_WREQ": _check_request,
         "G_DATA": _check_grant_and_version,
         "G_WDATA": _check_grant_and_version,
+        "G_DIFF": _check_diff,
+        "G_AREQ": _check_areq,
         "G_ADATA": _check_adata,
         "G_RACK": _check_rack,
     }
@@ -153,3 +196,36 @@ class GCSArcRules(ArcRules):
                 f"release drains still awaiting acks at quiescence: "
                 f"procs {sorted(p._drain)}",
             )
+
+    # ------------------------------------------------------------------
+    # queue-aware whole-state rules (explorer only)
+    # ------------------------------------------------------------------
+
+    def check_state(self, inflight) -> None:
+        """Open drains and refreshes must have their round-trip in flight."""
+        super().check_state(inflight)
+        p = self.protocol
+        for pid in sorted(p._drain):
+            if not any(
+                m.label in ("G_DIFF", "G_RACK")
+                and (m.src_pid == pid or m.dst_pid == pid)
+                for m in inflight
+            ):
+                self.s.fail(
+                    "gcs-drain-stuck",
+                    f"proc {pid} awaits a release acknowledgement with no "
+                    "G_DIFF or G_RACK in flight",
+                )
+        for cluster, vpn in sorted(p._refreshing):
+            if not any(
+                m.vpn == vpn
+                and m.label in ("G_AREQ", "G_ADATA")
+                and (m.src_cluster == cluster or m.dst_cluster == cluster)
+                for m in inflight
+            ):
+                self.s.fail(
+                    "gcs-refresh-stuck",
+                    f"cluster {cluster} awaits a refresh of vpn {vpn} "
+                    "with no G_AREQ or G_ADATA in flight",
+                    vpn=vpn,
+                )

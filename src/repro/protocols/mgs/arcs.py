@@ -265,6 +265,30 @@ class MGSArcRules(ArcRules):
                 txn=msg.txn,
             )
 
+    def _check_wnotify(self, msg) -> None:
+        """WNOTIFY (arc 18): an upgrade notice from a granted copy.
+
+        Deliberately weak: between send and delivery a release round may
+        invalidate or recall the upgrading cluster's copy, so the only
+        always-sound pre-state is that the cluster has a frame at all
+        (a notice from a never-granted cluster is spurious).
+        """
+        frame = self._frame(msg.src_cluster, msg.vpn)
+        if frame is None:
+            self._fail(
+                "wnotify-frame",
+                f"WNOTIFY from cluster {msg.src_cluster} which has no frame",
+                vpn=msg.vpn,
+                txn=msg.txn,
+            )
+        if self.protocol.homes.get(msg.vpn) is None:
+            self._fail(
+                "wnotify-home",
+                f"WNOTIFY for vpn {msg.vpn} which has no home page",
+                vpn=msg.vpn,
+                txn=msg.txn,
+            )
+
     def _check_retained_unlock(self, msg) -> None:
         """1W_UNLOCK: the retained copy is consistent and still locked."""
         frame = self._need_frame(msg.dst_cluster, msg.vpn, msg.label, msg.txn)
@@ -302,6 +326,7 @@ class MGSArcRules(ArcRules):
         "1WDATA": _check_inval_response,
         "REL": _check_rel,
         "RACK": _check_rack,
+        "WNOTIFY": _check_wnotify,
         "1W_UNLOCK": _check_retained_unlock,
     }
 
@@ -537,5 +562,89 @@ class MGSArcRules(ArcRules):
                         "quiesce-stolen",
                         f"stolen set of proc {pid} holds vpn {vpn} which "
                         "is still write-mapped",
+                        vpn=vpn,
+                    )
+
+    # ------------------------------------------------------------------
+    # queue-aware whole-state rules (explorer only)
+    # ------------------------------------------------------------------
+
+    def check_state(self, inflight) -> None:
+        """Invariants over protocol state *plus* undelivered messages.
+
+        These relate stable state to messages still in the event queue,
+        so only the explorer (which snapshots between events) can
+        evaluate them; each is the mid-run form of a quiescence rule,
+        gated on "nothing in flight can still repair this".
+        """
+        super().check_state(inflight)
+        protocol = self.protocol
+        vpns_in_flight = {m.vpn for m in inflight}
+        for cluster, frames in enumerate(protocol.frames):
+            for vpn in sorted(frames):
+                frame = frames[vpn]
+                if (
+                    frame.state is FrameState.WRITE
+                    and not frame.aliases_home
+                    and frame.twin is None
+                ):
+                    # A write copy's twin is created with the grant and
+                    # only dropped when the copy itself is dropped or
+                    # downgraded (atomically, within one handler), so no
+                    # in-flight message can excuse its absence.
+                    self._fail(
+                        "state-twin",
+                        f"write copy in cluster {cluster} has no twin "
+                        "(diffs against it would be impossible)",
+                        vpn=vpn,
+                    )
+                if frame.pinv_count > 0 and not any(
+                    m.vpn == vpn and m.label in ("PINV", "PINV_ACK")
+                    for m in inflight
+                ):
+                    # Shootdowns outstanding but nothing left in flight
+                    # to complete them: the invalidation hangs forever.
+                    self._fail(
+                        "state-pinv",
+                        f"cluster {cluster} counts {frame.pinv_count} "
+                        "outstanding TLB shootdowns with no PINV or "
+                        "PINV_ACK in flight",
+                        vpn=vpn,
+                    )
+                if frame.state is FrameState.WRITE and not frame.lock_held:
+                    home = protocol.homes.get(vpn)
+                    if (
+                        home is not None
+                        and home.state is not ServerState.REL_IN_PROG
+                        and vpn not in vpns_in_flight
+                        and cluster not in home.write_dir
+                    ):
+                        # Nothing in flight for the page, no round open:
+                        # the directory can no longer learn of this copy,
+                        # so the next round will skip invalidating it.
+                        self._fail(
+                            "state-refill",
+                            f"write copy in cluster {cluster} missing "
+                            "from write_dir with nothing in flight to "
+                            "register it",
+                            vpn=vpn,
+                        )
+        for pid, duq in enumerate(protocol.duqs):
+            tlb = protocol.tlbs[pid]
+            for vpn in duq.vpns():
+                home = protocol.homes.get(vpn)
+                if (
+                    not tlb.has_write(vpn)
+                    and vpn not in vpns_in_flight
+                    and (
+                        home is None
+                        or home.state is not ServerState.REL_IN_PROG
+                    )
+                ):
+                    self._fail(
+                        "state-duq",
+                        f"DUQ of proc {pid} holds vpn {vpn} without a "
+                        "write mapping and nothing in flight to resolve "
+                        "it",
                         vpn=vpn,
                     )

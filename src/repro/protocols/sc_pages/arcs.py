@@ -27,6 +27,32 @@ class SCPagesArcRules(ArcRules):
     # per-message pre-state checks
     # ------------------------------------------------------------------
 
+    def _check_request(self, msg) -> None:
+        frame = self.protocol.frames[msg.src_cluster].get(msg.vpn)
+        if frame is None or not frame.lock_held:
+            self._fail(
+                "sc-request",
+                f"{msg.label} from cluster {msg.src_cluster} with no "
+                "fault holding the frame lock",
+                msg,
+            )
+
+    def _check_inv(self, msg) -> None:
+        home = self.protocol.homes.get(msg.vpn)
+        if home is None or home.state is not ServerState.REL_IN_PROG:
+            self._fail(
+                "sc-inv",
+                f"SC_INV for vpn {msg.vpn} outside a coherence round",
+                msg,
+            )
+        elif home.round_txn != msg.txn:
+            self._fail(
+                "sc-inv",
+                f"SC_INV carries txn {msg.txn} but the round is "
+                f"txn {home.round_txn}",
+                msg,
+            )
+
     def _check_grant(self, msg) -> None:
         frame = self.protocol.frames[msg.dst_cluster].get(msg.vpn)
         if frame is None or not frame.lock_held:
@@ -73,9 +99,12 @@ class SCPagesArcRules(ArcRules):
             )
 
     _CHECKS = {
+        "SC_RREQ": _check_request,
+        "SC_WREQ": _check_request,
         "SC_DATA": _check_grant,
         "SC_WGRANT": _check_grant,
         "SC_DOWN": _check_down,
+        "SC_INV": _check_inv,
         "SC_WB": _check_ack,
         "SC_IACK": _check_ack,
     }
@@ -144,3 +173,40 @@ class SCPagesArcRules(ArcRules):
                         f"for vpn {vpn}",
                         vpn=vpn,
                     )
+
+    # ------------------------------------------------------------------
+    # queue-aware whole-state rules (explorer only)
+    # ------------------------------------------------------------------
+
+    def check_state(self, inflight) -> None:
+        """An open coherence round must still be able to make progress.
+
+        With ``count`` acknowledgements outstanding, either a round
+        message is in flight for the page or a revocation is parked on a
+        frame (deferred behind an access in progress); neither means the
+        round is lost forever.
+        """
+        super().check_state(inflight)
+        p = self.protocol
+        for vpn, home in sorted(p.homes.items()):
+            if home.state is not ServerState.REL_IN_PROG or home.count <= 0:
+                continue
+            if any(
+                m.vpn == vpn
+                and m.label in ("SC_DOWN", "SC_INV", "SC_WB", "SC_IACK")
+                for m in inflight
+            ):
+                continue
+            if any(
+                (frame := frames.get(vpn)) is not None
+                and (frame.queued_invals or frame.pinv_count > 0)
+                for frames in p.frames
+            ):
+                continue
+            self.s.fail(
+                "sc-round-stuck",
+                f"vpn {vpn} round expects {home.count} more "
+                "acknowledgements with no round message in flight and no "
+                "revocation parked",
+                vpn=vpn,
+            )

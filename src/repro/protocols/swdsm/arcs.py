@@ -27,6 +27,31 @@ class SWDSMArcRules(ArcRules):
     # per-message pre-state checks
     # ------------------------------------------------------------------
 
+    def _check_request(self, msg) -> None:
+        frame = self.protocol.frames[msg.src_pid].get(msg.vpn)
+        if frame is None or frame.state is not FrameState.BUSY:
+            state = "absent" if frame is None else frame.state.value
+            self._fail(
+                "swdsm-request",
+                f"{msg.label} from node {msg.src_pid} but its frame is "
+                f"{state} (no fetch outstanding)",
+                msg,
+            )
+
+    def _check_diff(self, msg) -> None:
+        # The eager releaser drops its replica before the diff travels
+        # (and a join comes from a stolen entry with no replica at all),
+        # so a write replica still present at the sender means the diff
+        # is spurious or the drop was forgotten.
+        frame = self.protocol.frames[msg.src_pid].get(msg.vpn)
+        if frame is not None and frame.state is FrameState.WRITE:
+            self._fail(
+                "swdsm-diff",
+                f"S_DIFF from node {msg.src_pid} which still holds a "
+                "write replica (releaser must drop before diffing)",
+                msg,
+            )
+
     def _check_data(self, msg) -> None:
         frame = self.protocol.frames[msg.dst_pid].get(msg.vpn)
         if frame is None or frame.state is not FrameState.BUSY:
@@ -75,7 +100,10 @@ class SWDSMArcRules(ArcRules):
             )
 
     _CHECKS = {
+        "S_RREQ": _check_request,
+        "S_WREQ": _check_request,
         "S_DATA": _check_data,
+        "S_DIFF": _check_diff,
         "S_INV": _check_inv,
         "S_IACK": _check_iack,
         "S_RACK": _check_rack,
@@ -124,3 +152,26 @@ class SWDSMArcRules(ArcRules):
                         f"node {pid} still fetching vpn {vpn} at quiescence",
                         vpn=vpn,
                     )
+
+    # ------------------------------------------------------------------
+    # queue-aware whole-state rules (explorer only)
+    # ------------------------------------------------------------------
+
+    def check_state(self, inflight) -> None:
+        """An open invalidation round must have messages left to close it."""
+        super().check_state(inflight)
+        for vpn, home in sorted(self.protocol.homes.items()):
+            if (
+                home.state is ServerState.REL_IN_PROG
+                and home.count > 0
+                and not any(
+                    m.vpn == vpn and m.label in ("S_INV", "S_IACK")
+                    for m in inflight
+                )
+            ):
+                self.s.fail(
+                    "swdsm-round-stuck",
+                    f"vpn {vpn} round expects {home.count} more "
+                    "acknowledgements with no S_INV or S_IACK in flight",
+                    vpn=vpn,
+                )

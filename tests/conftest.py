@@ -5,6 +5,7 @@ The package is normally installed with ``pip install -e .`` (or
 package); this fallback lets the suite run from a clean checkout too.
 """
 
+import os
 import sys
 from pathlib import Path
 
@@ -13,6 +14,17 @@ import pytest
 SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+from hypothesis import settings  # noqa: E402 - needs src/ on the path
+
+# CI runs every hypothesis suite derandomized: the same inputs every
+# run, so a red build is a real regression, never a lucky draw — and
+# print_blob repeats the @reproduce_failure recipe on any failure so
+# the exact case replays locally.  Opt in locally with
+# ``--hypothesis-profile=ci`` or by exporting CI=1.
+settings.register_profile("ci", derandomize=True, print_blob=True)
+if os.environ.get("CI"):
+    settings.load_profile("ci")
 
 
 @pytest.fixture(scope="module")

@@ -10,6 +10,7 @@ clean — the same check CI's ``analysis`` job enforces.
 from pathlib import Path
 
 from repro.analysis.lint import (
+    check_arc_coverage,
     check_handler_coverage,
     lint_paths,
     lint_source,
@@ -165,6 +166,59 @@ class TestHandlerCoverage:
             "@handles(MsgType.RDAT)\ndef b(self, msg):\n    pass\n",
         )
         assert check_handler_coverage(core) == []
+
+
+class TestArcCoverage:
+    HANDLERS = (
+        "@handles('X_REQ')\ndef on_req(self, msg):\n    pass\n"
+        "@handles('X_DAT')\ndef on_dat(self, msg):\n    pass\n"
+    )
+
+    def write_engine(self, tmp_path, arcs_source=None):
+        protocols = tmp_path / "repro" / "protocols"
+        package = protocols / "toy"
+        package.mkdir(parents=True, exist_ok=True)
+        (package / "protocol.py").write_text(self.HANDLERS)
+        if arcs_source is not None:
+            (package / "arcs.py").write_text(arcs_source)
+        core = tmp_path / "repro" / "core"
+        core.mkdir(parents=True, exist_ok=True)
+        messages = core / "messages.py"
+        messages.write_text("class MsgType:\n    pass\n")
+        return protocols, messages
+
+    def test_missing_check_flagged(self, tmp_path):
+        protocols, messages = self.write_engine(
+            tmp_path,
+            "class ToyArcRules:\n    _CHECKS = {'X_REQ': None}\n",
+        )
+        found = check_arc_coverage(protocols, messages)
+        assert rules(found) == ["arc-coverage"]
+        assert "'X_DAT' with no arc check" in found[0].message
+
+    def test_missing_table_flagged(self, tmp_path):
+        protocols, messages = self.write_engine(tmp_path, arcs_source=None)
+        found = check_arc_coverage(protocols, messages)
+        assert rules(found) == ["arc-coverage"]
+        assert "ships no ArcRules _CHECKS table" in found[0].message
+
+    def test_full_coverage_is_clean(self, tmp_path):
+        protocols, messages = self.write_engine(
+            tmp_path,
+            "class ToyArcRules:\n"
+            "    _CHECKS = {'X_REQ': None, 'X_DAT': None}\n",
+        )
+        assert check_arc_coverage(protocols, messages) == []
+
+    def test_extra_checks_are_fine(self, tmp_path):
+        # A check for a label the engine no longer registers is dead
+        # code, not a blind spot; handler-coverage owns declarations.
+        protocols, messages = self.write_engine(
+            tmp_path,
+            "class ToyArcRules:\n"
+            "    _CHECKS = {'X_REQ': None, 'X_DAT': None, 'X_OLD': None}\n",
+        )
+        assert check_arc_coverage(protocols, messages) == []
 
 
 class TestDriver:

@@ -1,34 +1,55 @@
-"""Seeded protocol corruptions: the sanitizer must catch every one.
+"""Seeded protocol corruptions: the checkers must catch every one.
 
-Each test applies one mutation from :mod:`repro.analysis.mutations` —
-a deliberately introduced protocol bug — then drives the protocol
+Each MGS test applies one mutation from :mod:`repro.analysis.mutations`
+— a deliberately introduced protocol bug — then drives the protocol
 directly (the way ``test_protocol_races.py`` does) and asserts an
 :class:`InvariantViolation` fires, either at message delivery or in the
-quiescence sweep.  A final test pins that the registry and this file
-stay in sync: a new mutation without a detection test fails here.
+quiescence sweep.  The cross-engine tests hand the same job to the
+bounded model checker (:func:`repro.analysis.explore.explore`), which
+must catch *every* registered mutation — including the data-staleness
+ones only its release-consistency read oracle can see.  A final test
+pins that the registry and this file stay in sync: a new mutation
+without a detection entry fails here.
 """
 
 import pytest
 
-from repro.analysis import MUTATIONS, InvariantViolation, apply_mutation
+from repro.analysis import (
+    MUTATIONS,
+    InvariantViolation,
+    MutationSpec,
+    apply_mutation,
+)
+from repro.analysis.explore import MUTATION_SETUPS, explore
 from repro.params import MachineConfig
 from repro.runtime import Runtime
 
+# How each mutation is caught: "drive" entries have a direct-drive test
+# below; "explore" entries are caught by the bounded model checker in
+# test_explorer_catches_every_mutation (all mutations are, but for the
+# non-MGS engines and the data-staleness bugs it is the *only* catcher).
 DETECTED_BY = {
-    "skip_pinv_ack": "quiesce",
-    "forget_directory_refill": "quiesce-refill",
-    "drop_twin": "quiesce-twin",
-    "leak_duq": "quiesce-duq",
-    "double_rack": "rack-unmatched",
-    "dir_exclusion": "dir-exclusion",
+    "skip_pinv_ack": "drive",
+    "forget_directory_refill": "drive",
+    "drop_twin": "drive",
+    "leak_duq": "drive",
+    "double_rack": "drive",
+    "dir_exclusion": "drive",
+    "swdsm_stale_diff": "explore",
+    "swdsm_lost_iack": "explore",
+    "sc_shared_writer": "explore",
+    "sc_lost_wb": "explore",
+    "gcs_dropped_write_notice": "explore",
+    "gcs_stale_version": "explore",
 }
 
 
-def make_rt(nclusters=2, cluster_size=1):
+def make_rt(nclusters=2, cluster_size=1, protocol="mgs"):
     config = MachineConfig(
         total_processors=nclusters * cluster_size,
         cluster_size=cluster_size,
         inter_ssmp_delay=1000,
+        protocol=protocol,
     )
     rt = Runtime(config, analysis="invariants")
     arr = rt.array("page", config.words_per_page, home=0)
@@ -113,14 +134,39 @@ def test_dir_exclusion_detected():
     assert exc.value.rule == "dir-exclusion"
 
 
+# ---------------------------------------------------------------------------
+# cross-engine: the bounded model checker catches everything
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+def test_explorer_catches_every_mutation(name):
+    """The bounded checker finds a violating interleaving for each bug."""
+    setup = MUTATION_SETUPS[name]
+    report = explore(setup.cfg, programs=setup.programs, mutation=name)
+    assert report.caught, report.summary()
+    assert not report.truncated
+    assert report.schedule, "a counterexample needs a schedule to replay"
+
+
+def test_mutation_targets_wrong_engine_refused():
+    rt, _vpn = make_rt(protocol="mgs")
+    with pytest.raises(ValueError, match="targets engine 'swdsm'"):
+        apply_mutation(rt, "swdsm_lost_iack")
+
+
 def test_every_registered_mutation_has_a_test():
     assert set(MUTATIONS) == set(DETECTED_BY)
+    assert set(MUTATIONS) == set(MUTATION_SETUPS)
 
 
-def test_mutation_descriptions_are_informative():
-    for name, (description, _applier) in MUTATIONS.items():
-        assert description, name
-    assert apply_mutation(make_rt()[0], "drop_twin") == MUTATIONS["drop_twin"][0]
+def test_mutation_registry_is_well_formed():
+    for name, spec in MUTATIONS.items():
+        assert isinstance(spec, MutationSpec), name
+        assert spec.description, name
+        assert spec.engine in ("mgs", "swdsm", "sc_pages", "gcs"), name
+    applied = apply_mutation(make_rt()[0], "drop_twin")
+    assert applied == MUTATIONS["drop_twin"].description
 
 
 def test_unmutated_baseline_is_clean():

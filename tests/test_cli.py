@@ -26,3 +26,9 @@ def test_sweep_runs_small_machine(capsys):
     out = capsys.readouterr().out
     assert "breakup penalty" in out
     assert "C= 4" in out
+
+
+def test_analyze_hands_off_to_explorer(capsys):
+    assert main(["analyze", "explore", "--engine", "swdsm"]) == 0
+    out = capsys.readouterr().out
+    assert "swdsm: clean" in out
